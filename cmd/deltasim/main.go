@@ -1,0 +1,67 @@
+// Command deltasim characterizes the Delta's 2D mesh interconnect:
+// latency/throughput versus offered load for the classical traffic
+// patterns, plus the bisection bandwidth of the paper's 16x33 mesh.
+//
+// Usage:
+//
+//	deltasim                      # uniform traffic sweep on the 16x33 mesh
+//	deltasim -pattern transpose
+//	deltasim -rows 8 -cols 8 -bytes 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mesh"
+	"repro/internal/report"
+)
+
+func main() {
+	rows := flag.Int("rows", 16, "mesh rows")
+	cols := flag.Int("cols", 33, "mesh columns")
+	pattern := flag.String("pattern", "uniform", "traffic pattern: uniform, transpose, hotspot, neighbor")
+	bytes := flag.Int("bytes", 1024, "packet size")
+	packets := flag.Int("packets", 50, "packets per node")
+	flag.Parse()
+
+	var pat mesh.Pattern
+	switch *pattern {
+	case "uniform":
+		pat = mesh.Uniform
+	case "transpose":
+		pat = mesh.Transpose
+	case "hotspot":
+		pat = mesh.Hotspot
+	case "neighbor":
+		pat = mesh.NearestNeighbor
+	default:
+		fmt.Fprintf(os.Stderr, "unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	const linkBps = 10e6 // Delta sustained channel rate
+	const routerDelay = 1e-6
+
+	net := mesh.New(*rows, *cols, linkBps, routerDelay)
+	fmt.Printf("mesh %dx%d, %d nodes, bisection bandwidth %.1f MB/s\n\n",
+		*rows, *cols, net.Nodes(), net.BisectionBandwidthBps()/1e6)
+
+	fractions := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
+	results := mesh.SaturationSweep(*rows, *cols, linkBps, routerDelay,
+		pat, fractions, *packets, *bytes, 1992)
+
+	t := report.NewTable(
+		fmt.Sprintf("%s traffic, %d-byte packets", *pattern, *bytes),
+		"Offered (frac of link)", "Accepted (KB/s/node)", "Avg latency (us)", "Max latency (us)")
+	for i, r := range results {
+		t.AddRow(
+			report.Cellf("%.2f", fractions[i]),
+			report.Cellf("%.1f", r.AcceptedBps/1e3),
+			report.Cellf("%.1f", r.AvgLatency*1e6),
+			report.Cellf("%.1f", r.MaxLatency*1e6),
+		)
+	}
+	fmt.Print(t.Render())
+}

@@ -1,0 +1,43 @@
+// Command funding prints the paper's federal HPCC budget table and the
+// derived growth/share analytics, plus the responsibilities matrix and the
+// program goals.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/agency"
+	"repro/internal/funding"
+	"repro/internal/report"
+)
+
+func main() {
+	csv := flag.Bool("csv", false, "emit the funding table as CSV")
+	flag.Parse()
+
+	if *csv {
+		fmt.Print(funding.Table().CSV())
+		return
+	}
+	fmt.Print(funding.Table().Render())
+	fmt.Println()
+	fmt.Print(funding.GrowthTable().Render())
+	fmt.Println()
+
+	lines := funding.FY9293()
+	labels := make([]string, len(lines))
+	vals := make([]float64, len(lines))
+	for i, l := range lines {
+		labels[i] = l.Agency
+		vals[i] = l.FY93
+	}
+	fmt.Print(report.BarChart("FY 1993 request ($M)", labels, vals, 40))
+	fmt.Println()
+	fmt.Print(agency.Matrix().Render())
+	fmt.Println()
+	fmt.Println("Program goals:")
+	for i, g := range agency.Goals() {
+		fmt.Printf("  %d. %s\n", i+1, g)
+	}
+}

@@ -1,0 +1,42 @@
+// Command hpccreport regenerates every exhibit of the paper (experiments
+// E1-E7): the funding table, the responsibilities matrix, the Delta peak
+// and LINPACK numbers, the consortium network figure and the application
+// scaling tables.
+//
+// Usage:
+//
+//	hpccreport              # full report (Delta-scale E4; a few seconds)
+//	hpccreport -quick       # scaled-down smoke version
+//	hpccreport -e E4        # a single exhibit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "scale down the expensive experiments")
+	exp := flag.String("e", "", "run a single experiment by ID (E1..E7)")
+	flag.Parse()
+
+	prog := core.NewProgram()
+	prog.Quick = *quick
+
+	if *exp != "" {
+		out, err := prog.RunExperiment(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+	if err := prog.WriteReport(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+// Command linpack runs the distributed LINPACK benchmark on a simulated
+// machine and prints the standard report row, or sweeps a parameter.
+//
+// Usage:
+//
+//	linpack                          # the paper's Delta configuration
+//	linpack -n 8192 -nb 32 -pr 8 -pc 16
+//	linpack -sweep n                 # GFLOPS vs matrix order
+//	linpack -sweep nb                # GFLOPS vs block size
+//	linpack -sweep grid              # GFLOPS vs grid shape
+//	linpack -sweep machines          # iPSC/860 vs Delta vs Paragon
+//	linpack -real -n 512             # real numerics with residual check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/linpack"
+	"repro/internal/machine"
+)
+
+func main() {
+	n := flag.Int("n", 25000, "matrix order")
+	nb := flag.Int("nb", 16, "block size")
+	pr := flag.Int("pr", 16, "process grid rows")
+	pc := flag.Int("pc", 33, "process grid columns")
+	sweep := flag.String("sweep", "", "sweep a parameter: n, nb or grid")
+	real := flag.Bool("real", false, "real numerics (small N) with residual check")
+	flag.Parse()
+
+	model := machine.Delta()
+	base := linpack.Config{
+		N: *n, NB: *nb, GridRows: *pr, GridCols: *pc,
+		Model: model, Phantom: !*real, Seed: 1992,
+	}
+
+	switch *sweep {
+	case "":
+		out, err := linpack.Run(base)
+		fail(err)
+		fmt.Print(linpack.Table("LINPACK", []linpack.Point{{Config: base, Outcome: out}}).Render())
+		if *real {
+			fmt.Printf("normalized residual: %.3f\n", out.Residual)
+		}
+	case "n":
+		var cfgs []linpack.Config
+		for _, nn := range []int{2000, 5000, 10000, 15000, 20000, 25000} {
+			c := base
+			c.N = nn
+			cfgs = append(cfgs, c)
+		}
+		pts, err := linpack.Sweep(cfgs)
+		fail(err)
+		fmt.Print(linpack.Table("LINPACK GFLOPS vs matrix order (Delta model)", pts).Render())
+	case "nb":
+		var cfgs []linpack.Config
+		for _, b := range []int{4, 8, 16, 32, 64} {
+			c := base
+			c.NB = b
+			cfgs = append(cfgs, c)
+		}
+		pts, err := linpack.Sweep(cfgs)
+		fail(err)
+		fmt.Print(linpack.Table("LINPACK GFLOPS vs block size (Delta model)", pts).Render())
+	case "grid":
+		var cfgs []linpack.Config
+		for _, g := range [][2]int{{1, 528}, {2, 264}, {4, 132}, {8, 66}, {16, 33}, {22, 24}} {
+			c := base
+			c.GridRows, c.GridCols = g[0], g[1]
+			cfgs = append(cfgs, c)
+		}
+		pts, err := linpack.Sweep(cfgs)
+		fail(err)
+		fmt.Print(linpack.Table("LINPACK GFLOPS vs process grid shape (Delta model)", pts).Render())
+	case "machines":
+		pts, err := linpack.GenerationSweep(8192, *nb, 1992)
+		fail(err)
+		fmt.Print(linpack.Table("LINPACK N=8192 across the DARPA machine series", pts).Render())
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sweep %q (want n, nb or grid)\n", *sweep)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command nrensim exercises the consortium wide-area network model: the
+// link-class table of the paper's figure, site-to-site transfer times, and
+// link utilization under a concurrent-transfer storm.
+//
+// Usage:
+//
+//	nrensim                 # link classes + transfer matrix
+//	nrensim -bytes 1e8      # larger reference transfer
+//	nrensim -storm          # all-pairs concurrent transfers with fair sharing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/nren"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+func main() {
+	bytes := flag.Float64("bytes", 10e6, "reference transfer size in bytes")
+	storm := flag.Bool("storm", false, "run all-pairs concurrent transfers")
+	flag.Parse()
+
+	tbl, err := nren.LinkClassTable(*bytes)
+	fail(err)
+	fmt.Print(tbl.Render())
+	fmt.Println()
+
+	g := topo.Consortium()
+	sites := []string{
+		topo.SiteCaltech, topo.SiteJPL, topo.SiteSDSC, topo.SiteLANL,
+		topo.SiteRice, topo.SiteDARPA, topo.SiteRegional,
+	}
+	m, err := nren.TransferMatrix(g, sites, *bytes)
+	fail(err)
+	fmt.Print(nren.MatrixTable(
+		fmt.Sprintf("%.0f MB transfer times between consortium sites (seconds)", *bytes/1e6),
+		sites, m).Render())
+
+	if !*storm {
+		return
+	}
+	fmt.Println()
+	s := nren.New(g)
+	all := topo.ConsortiumSites()
+	for i, a := range all {
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			_, err := s.Transfer(a, b, *bytes, 0)
+			fail(err)
+		}
+	}
+	fail(s.Run())
+	fmt.Printf("storm of %d concurrent transfers drained in %.1f s\n\n", len(all)*(len(all)-1), s.Now())
+
+	util := s.Utilization()
+	keys := make([]string, 0, len(util))
+	for k := range util {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return util[keys[i]] > util[keys[j]] })
+	t := report.NewTable("Busiest links during the storm", "Link", "Utilization %")
+	for i, k := range keys {
+		if i == 8 {
+			break
+		}
+		t.AddRow(k, report.Cellf("%.1f", util[k]*100))
+	}
+	fmt.Print(t.Render())
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

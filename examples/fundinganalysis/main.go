@@ -1,0 +1,61 @@
+// Fundinganalysis: the programmatic side of the paper as data — regenerate
+// the FY92-93 budget table, derive growth and shares, and cross-reference
+// the responsibilities matrix with the consortium rosters.
+//
+//	go run ./examples/fundinganalysis
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/agency"
+	"repro/internal/funding"
+	"repro/internal/report"
+)
+
+func main() {
+	lines := funding.FY9293()
+
+	fmt.Print(funding.Table().Render())
+	fmt.Println()
+
+	// Which agencies carry each program component?
+	for _, c := range agency.Components() {
+		var names []string
+		var budget93 float64
+		for _, a := range agency.All() {
+			if !a.HasRole(c) {
+				continue
+			}
+			names = append(names, a.Name)
+			for _, l := range lines {
+				if l.Agency == a.Name {
+					budget93 += l.FY93
+				}
+			}
+		}
+		fmt.Printf("%s (%s): %d agencies, combined FY93 budgets $%.1fM\n",
+			c, c.Title(), len(names), budget93)
+	}
+	fmt.Println()
+
+	// Growth leaders.
+	t := report.NewTable("FY92 -> FY93 growth leaders", "Agency", "Growth %")
+	best, bestG := "", -1.0
+	for _, l := range lines {
+		if g := l.Growth(); g > bestG {
+			best, bestG = l.Agency, g
+		}
+		t.AddRow(l.Agency, report.Cellf("%+.1f", l.Growth()*100))
+	}
+	fmt.Print(t.Render())
+	fmt.Printf("\nfastest-growing agency: %s (%.0f%%)\n\n", best, bestG*100)
+
+	// Consortium rosters from the paper.
+	fmt.Print(agency.RosterTable().Render())
+	fmt.Println()
+	fmt.Println("CAS industrial participants:")
+	for _, name := range agency.CASIndustry() {
+		fmt.Printf("  - %s\n", name)
+	}
+}

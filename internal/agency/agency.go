@@ -1,0 +1,151 @@
+// Package agency encodes the organizational structure of the federal HPCC
+// program as the paper presents it: the four program components, the
+// agency-by-component responsibilities matrix (exhibit T4-2), and the
+// rosters of the two consortia (Delta and Computational Aerosciences).
+package agency
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Component is one of the four HPCC program components.
+type Component int
+
+// The four components of the federal program.
+const (
+	// HPCS is High Performance Computing Systems.
+	HPCS Component = iota
+	// ASTA is Advanced Software Technology and Algorithms.
+	ASTA
+	// NREN is the National Research and Education Network.
+	NREN
+	// BRHR is Basic Research and Human Resources.
+	BRHR
+	numComponents
+)
+
+// String returns the component's acronym.
+func (c Component) String() string {
+	switch c {
+	case HPCS:
+		return "HPCS"
+	case ASTA:
+		return "ASTA"
+	case NREN:
+		return "NREN"
+	case BRHR:
+		return "BRHR"
+	}
+	return fmt.Sprintf("Component(%d)", int(c))
+}
+
+// Title returns the component's full name.
+func (c Component) Title() string {
+	switch c {
+	case HPCS:
+		return "High Performance Computing Systems"
+	case ASTA:
+		return "Advanced Software Technology and Algorithms"
+	case NREN:
+		return "National Research and Education Network"
+	case BRHR:
+		return "Basic Research and Human Resources"
+	}
+	return c.String()
+}
+
+// Components lists all four components in program order.
+func Components() []Component { return []Component{HPCS, ASTA, NREN, BRHR} }
+
+// Agency is one participating agency with its per-component
+// responsibilities (empty slice = no role in that component).
+type Agency struct {
+	Name             string
+	Responsibilities map[Component][]string
+}
+
+// HasRole reports whether the agency participates in the component.
+func (a Agency) HasRole(c Component) bool { return len(a.Responsibilities[c]) > 0 }
+
+// All returns the responsibilities matrix of exhibit T4-2, in the funding
+// table's agency order.
+func All() []Agency {
+	return []Agency{
+		{"DARPA", map[Component][]string{
+			HPCS: {"Technology development and coordination for teraops systems"},
+			ASTA: {"Technology development for parallel algorithms and software tools", "Software coordination"},
+			NREN: {"Technology development and coordination for gigabit networks"},
+			BRHR: {"Basic research and education programs"},
+		}},
+		{"NSF", map[Component][]string{
+			HPCS: {"Basic architecture research", "Prototype experimental systems"},
+			ASTA: {"Research in software tools and databases", "Grand Challenges computer access", "Research in software indexing and exchange", "Scalable parallel algorithms"},
+			NREN: {"Interagency NREN deployment", "Gigabits research", "Facilities coordination"},
+			BRHR: {"Research institutes and university block grants", "Education, training and curricula", "Infrastructure"},
+		}},
+		{"DOE", map[Component][]string{
+			HPCS: {"Systems evaluation"},
+			ASTA: {"Energy grand challenge and computation research", "Software tools", "Computational techniques"},
+			NREN: {"Access to energy research facilities and databases", "Gigabits applications research"},
+			BRHR: {"Basic research and education programs", "Computational science fellowships"},
+		}},
+		{"NASA", map[Component][]string{
+			HPCS: {"Aeronautics and space application testbeds"},
+			ASTA: {"Computational research in aerosciences", "Computational research in earth and space sciences", "Software coordination"},
+			NREN: {"Access to aeronautics and spaceflight research centers"},
+			BRHR: {"Research institutes", "Internships for parallel algorithm development", "Training and career development"},
+		}},
+		{"HHS/NIH", map[Component][]string{
+			ASTA: {"Medical application testbeds for NIH/NLM medical computation research"},
+			NREN: {"Access for academic medical centers", "Development of intelligent gateways"},
+			BRHR: {"Training and career development"},
+		}},
+		{"DOC/NOAA", map[Component][]string{
+			ASTA: {"Ocean and atmospheric computation research", "Software tools"},
+			NREN: {"Ocean and atmospheric mission facilities", "Access to environmental databases"},
+		}},
+		{"EPA", map[Component][]string{
+			ASTA: {"Research in environmental computations, databases, and application testbeds"},
+			NREN: {"Environmental mission networking by the states", "Technology transfer to states"},
+		}},
+		{"DOC/NIST", map[Component][]string{
+			HPCS: {"Research in interfaces and standards"},
+			NREN: {"Coordinate performance measurement and standards", "Programs in protocols and security"},
+		}},
+	}
+}
+
+// Matrix renders the responsibilities matrix: one row per agency, an 'x'
+// under each component the agency participates in, matching exhibit T4-2's
+// structure.
+func Matrix() *report.Table {
+	cols := []string{"AGENCY"}
+	for _, c := range Components() {
+		cols = append(cols, c.String())
+	}
+	t := report.NewTable("FEDERAL HPCC PROGRAM RESPONSIBILITIES", cols...)
+	for _, a := range All() {
+		row := []string{a.Name}
+		for _, c := range Components() {
+			if a.HasRole(c) {
+				row = append(row, "x")
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Goals returns the three federal program goals from the paper's opening
+// exhibit.
+func Goals() []string {
+	return []string{
+		"Extend U.S. leadership in high performance computing and computer communications",
+		"Disseminate the technologies to speed innovation and to serve national goals",
+		"Spur gains in industrial competitiveness by making high performance computing integral to design and production",
+	}
+}

@@ -1,0 +1,144 @@
+package agency
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComponentNames(t *testing.T) {
+	want := map[Component][2]string{
+		HPCS: {"HPCS", "High Performance Computing Systems"},
+		ASTA: {"ASTA", "Advanced Software Technology and Algorithms"},
+		NREN: {"NREN", "National Research and Education Network"},
+		BRHR: {"BRHR", "Basic Research and Human Resources"},
+	}
+	for c, w := range want {
+		if c.String() != w[0] || c.Title() != w[1] {
+			t.Errorf("%v: got %q/%q", c, c.String(), c.Title())
+		}
+	}
+	if Component(99).String() != "Component(99)" {
+		t.Error("unknown component name wrong")
+	}
+	if len(Components()) != 4 {
+		t.Error("want 4 components")
+	}
+}
+
+func TestMatrixStructureMatchesPaper(t *testing.T) {
+	agencies := All()
+	if len(agencies) != 8 {
+		t.Fatalf("%d agencies, want the paper's 8", len(agencies))
+	}
+	// Presence/absence per the T4-2 matrix.
+	want := map[string]map[Component]bool{
+		"DARPA":    {HPCS: true, ASTA: true, NREN: true, BRHR: true},
+		"NSF":      {HPCS: true, ASTA: true, NREN: true, BRHR: true},
+		"DOE":      {HPCS: true, ASTA: true, NREN: true, BRHR: true},
+		"NASA":     {HPCS: true, ASTA: true, NREN: true, BRHR: true},
+		"HHS/NIH":  {HPCS: false, ASTA: true, NREN: true, BRHR: true},
+		"DOC/NOAA": {HPCS: false, ASTA: true, NREN: true, BRHR: false},
+		"EPA":      {HPCS: false, ASTA: true, NREN: true, BRHR: false},
+		"DOC/NIST": {HPCS: true, ASTA: false, NREN: true, BRHR: false},
+	}
+	for _, a := range agencies {
+		w, ok := want[a.Name]
+		if !ok {
+			t.Fatalf("unexpected agency %q", a.Name)
+		}
+		for _, c := range Components() {
+			if a.HasRole(c) != w[c] {
+				t.Errorf("%s x %v: got %v, want %v", a.Name, c, a.HasRole(c), w[c])
+			}
+		}
+	}
+}
+
+func TestEveryAgencyTouchesNREN(t *testing.T) {
+	// Structural fact of the matrix: the network component involves all
+	// eight agencies.
+	for _, a := range All() {
+		if !a.HasRole(NREN) {
+			t.Errorf("%s should participate in NREN", a.Name)
+		}
+	}
+}
+
+func TestMatrixRender(t *testing.T) {
+	out := Matrix().Render()
+	for _, want := range []string{"FEDERAL HPCC PROGRAM RESPONSIBILITIES",
+		"HPCS", "ASTA", "NREN", "BRHR", "DARPA", "DOC/NIST"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("matrix missing %q:\n%s", want, out)
+		}
+	}
+	// EPA row: blank under HPCS and BRHR, x under ASTA and NREN
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "EPA") {
+			if strings.Count(line, "x") != 2 {
+				t.Fatalf("EPA row should have exactly 2 x marks: %q", line)
+			}
+		}
+	}
+}
+
+func TestGoals(t *testing.T) {
+	goals := Goals()
+	if len(goals) != 3 {
+		t.Fatalf("%d goals, want the paper's 3", len(goals))
+	}
+	if !strings.Contains(goals[0], "Extend U.S. leadership") {
+		t.Fatalf("first goal wrong: %q", goals[0])
+	}
+}
+
+func TestDeltaPartnersAtLeast14(t *testing.T) {
+	// Paper: "partners include over 14 government, industry and academia
+	// organizations".
+	partners := DeltaPartners()
+	if len(partners) < 14 {
+		t.Fatalf("%d Delta partners, paper says over 14", len(partners))
+	}
+	seen := map[string]bool{}
+	for _, p := range partners {
+		if seen[p] {
+			t.Fatalf("duplicate partner %q", p)
+		}
+		seen[p] = true
+	}
+	for _, must := range []string{"Intel Corporation", "California Institute of Technology"} {
+		if !seen[must] {
+			t.Fatalf("missing essential partner %q", must)
+		}
+	}
+}
+
+func TestCASRosters(t *testing.T) {
+	ind := CASIndustry()
+	if len(ind) != 12 {
+		t.Fatalf("%d industry participants, paper lists 12", len(ind))
+	}
+	aca := CASAcademia()
+	if len(aca) != 4 {
+		t.Fatalf("%d academic participants, paper lists 4", len(aca))
+	}
+	joined := strings.Join(ind, "|")
+	for _, must := range []string{"Boeing", "Motorola", "General Dynamics"} {
+		if !strings.Contains(joined, must) {
+			t.Fatalf("missing %q", must)
+		}
+	}
+}
+
+func TestCASGoalsFive(t *testing.T) {
+	if len(CASGoals()) != 5 {
+		t.Fatalf("CAS consortium has 5 stated purposes, got %d", len(CASGoals()))
+	}
+}
+
+func TestRosterTable(t *testing.T) {
+	out := RosterTable().Render()
+	if !strings.Contains(out, "Delta (CSC)") || !strings.Contains(out, "12 companies") {
+		t.Fatalf("roster table wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package agency
+
+import "repro/internal/report"
+
+// DeltaPartners lists the Concurrent Supercomputing Consortium membership —
+// the paper says "over 14 government, industry and academia organizations"
+// acquired and operate the Touchstone Delta at Caltech.
+func DeltaPartners() []string {
+	return []string{
+		"Intel Corporation",
+		"California Institute of Technology",
+		"Jet Propulsion Laboratory",
+		"National Science Foundation",
+		"Defense Advanced Research Projects Agency",
+		"National Aeronautics and Space Administration",
+		"Department of Energy",
+		"Center for Research on Parallel Computation (Rice University)",
+		"San Diego Supercomputer Center",
+		"Los Alamos National Laboratory",
+		"Argonne National Laboratory",
+		"Purdue University",
+		"University of Southern California",
+		"Pacific Northwest Laboratory",
+		"Sandia National Laboratories",
+	}
+}
+
+// CASIndustry lists the Computational Aerosciences Consortium's industrial
+// participants (exhibit "Private Sector Participants").
+func CASIndustry() []string {
+	return []string{
+		"Boeing", "General Electric", "Grumman", "McDonnell Douglas",
+		"Northrop", "Lockheed", "United Technologies", "TRW",
+		"Rockwell", "General Motors", "General Dynamics", "Motorola",
+	}
+}
+
+// CASAcademia lists the CAS Consortium's academic participants.
+func CASAcademia() []string {
+	return []string{
+		"Syracuse University", "Mississippi State University",
+		"Universities Space Research Association", "University of California, Davis",
+	}
+}
+
+// CASGoals lists the Computational Aerosciences Consortium's stated
+// purposes (exhibit T4-5).
+func CASGoals() []string {
+	return []string{
+		"Develop a mechanism to allow aerospace industry to influence the requirements, standards, and direction of NASA's Computational Aerosciences (CAS) project",
+		"Provide a mechanism to allow industry to intellectually participate in the development of selected generic CAS applications software and systems software base",
+		"Facilitate the transfer of CAS technology to aerospace users",
+		"Provide industry access to high performance computing resources",
+		"Provide a mechanism to allow industry to commercialize appropriate products",
+	}
+}
+
+// RosterTable renders the consortium rosters as a report table.
+func RosterTable() *report.Table {
+	t := report.NewTable("HPCC consortium rosters", "Consortium", "Members")
+	t.AddRow("Delta (CSC)", report.Cellf("%d organizations", len(DeltaPartners())))
+	t.AddRow("CAS industry", report.Cellf("%d companies", len(CASIndustry())))
+	t.AddRow("CAS academia", report.Cellf("%d institutions", len(CASAcademia())))
+	return t
+}

@@ -1,0 +1,130 @@
+package cg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func model(cols int) machine.Model {
+	m := machine.Delta()
+	m.Rows, m.Cols = 1, cols
+	return m
+}
+
+func TestSerialConvergesToOnes(t *testing.T) {
+	x, res, iters := SolveSerial(16, 500, 1e-8)
+	if res >= 1e-8 {
+		t.Fatalf("did not converge: residual %g after %d iters", res, iters)
+	}
+	for i, v := range x {
+		if math.Abs(v-1) > 1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+	// CG on an n^2-unknown SPD system converges in at most n^2 iterations;
+	// for the Poisson problem it needs O(n) — check it was fast.
+	if iters > 100 {
+		t.Fatalf("took %d iterations on a 16x16 Poisson problem", iters)
+	}
+}
+
+func TestSerialResidualDecreases(t *testing.T) {
+	_, res50, _ := SolveSerial(24, 10, 0)
+	_, res100, _ := SolveSerial(24, 40, 0)
+	if res100 >= res50 {
+		t.Fatalf("residual did not decrease: %g after 10, %g after 40", res50, res100)
+	}
+}
+
+func TestMatvecKnownValues(t *testing.T) {
+	// 2x2 grid, v = ones: each cell has 2 interior neighbours, so
+	// A*1 = 4 - 2 = 2 everywhere.
+	out := applyFull(2, []float64{1, 1, 1, 1})
+	for i, v := range out {
+		if v != 2 {
+			t.Fatalf("applyFull[%d] = %g, want 2", i, v)
+		}
+	}
+}
+
+func TestDistributedMatchesSerial(t *testing.T) {
+	n := 20
+	want, wantRes, wantIters := SolveSerial(n, 300, 1e-9)
+	for _, p := range []int{1, 2, 3, 5} {
+		out, err := SolveDistributed(Config{
+			N: n, MaxIters: 300, Tol: 1e-9, Procs: p, Model: model(8),
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if out.Residual >= 1e-8 {
+			t.Fatalf("p=%d: residual %g", p, out.Residual)
+		}
+		if d := out.Iters - wantIters; d < -2 || d > 2 {
+			t.Fatalf("p=%d: %d iters, serial took %d", p, out.Iters, wantIters)
+		}
+		for i := range want {
+			if math.Abs(out.X[i]-want[i]) > 1e-6 {
+				t.Fatalf("p=%d: x[%d] = %g vs serial %g", p, i, out.X[i], want[i])
+			}
+		}
+		_ = wantRes
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	m := model(4)
+	cases := []Config{
+		{N: 1, MaxIters: 10, Procs: 1, Model: m},
+		{N: 8, MaxIters: 0, Procs: 1, Model: m},
+		{N: 2, MaxIters: 10, Procs: 4, Model: m},
+		{N: 8, MaxIters: 10, Procs: 99, Model: m},
+	}
+	for i, cfg := range cases {
+		if _, err := SolveDistributed(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPhantomRunsFixedIterations(t *testing.T) {
+	out, err := SolveDistributed(Config{
+		N: 64, MaxIters: 25, Procs: 4, Model: model(4), Phantom: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Iters != 25 {
+		t.Fatalf("phantom ran %d iters, want 25", out.Iters)
+	}
+	if out.X != nil {
+		t.Fatal("phantom should not gather a solution")
+	}
+	if out.Time <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+}
+
+func TestCGScalesWorseThanItsComputeBound(t *testing.T) {
+	// The known CG pathology the simulator must reproduce: two allreduces
+	// per iteration put a latency floor under each step, so strong
+	// scaling at fixed N falls well short of linear.
+	n := 512
+	t1, err := SolveDistributed(Config{N: n, MaxIters: 20, Procs: 1, Model: model(64), Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := SolveDistributed(Config{N: n, MaxIters: 20, Procs: 64, Model: model(64), Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := t1.Time / t64.Time
+	if speedup >= 50 {
+		t.Fatalf("CG speedup %g too close to linear; allreduce latency missing", speedup)
+	}
+	if speedup < 4 {
+		t.Fatalf("CG speedup %g implausibly poor", speedup)
+	}
+}

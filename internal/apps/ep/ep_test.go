@@ -1,0 +1,131 @@
+package ep
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func model(cols int) machine.Model {
+	m := machine.Delta()
+	m.Rows, m.Cols = 1, cols
+	return m
+}
+
+func TestLCGInUnitInterval(t *testing.T) {
+	g := lcg{x: defaultSeed}
+	for i := 0; i < 1000; i++ {
+		v := g.next()
+		if v <= 0 || v >= 1 {
+			t.Fatalf("deviate %g outside (0,1)", v)
+		}
+	}
+}
+
+func TestSkipToMatchesSequentialProperty(t *testing.T) {
+	// Property: skipping to position k equals stepping k times.
+	f := func(kRaw uint16) bool {
+		k := uint64(kRaw) % 500
+		seq := lcg{x: defaultSeed}
+		for i := uint64(0); i < k; i++ {
+			seq.next()
+		}
+		jmp := skipTo(defaultSeed, k)
+		return seq.x == jmp.x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialStatistics(t *testing.T) {
+	// Polar method accepts pi/4 of candidates; Gaussian sums are near 0.
+	n := uint64(200000)
+	r := Serial(n)
+	accept := r.Pairs / float64(n)
+	if math.Abs(accept-math.Pi/4) > 0.01 {
+		t.Fatalf("acceptance rate %g, want ~%g", accept, math.Pi/4)
+	}
+	if math.Abs(r.SumX)/r.Pairs > 0.02 || math.Abs(r.SumY)/r.Pairs > 0.02 {
+		t.Fatalf("Gaussian sums biased: %g %g over %g pairs", r.SumX, r.SumY, r.Pairs)
+	}
+	// nearly all deviates fall in the first few annuli
+	if r.Counts[0] <= r.Counts[3] {
+		t.Fatal("annulus counts should decay")
+	}
+	total := 0.0
+	for _, c := range r.Counts {
+		total += c
+	}
+	if total != r.Pairs {
+		t.Fatalf("counts sum %g != pairs %g", total, r.Pairs)
+	}
+}
+
+func TestDistributedMatchesSerialExactly(t *testing.T) {
+	// Skip-ahead partitioning makes the distributed tallies bitwise equal
+	// to the serial ones for any process count.
+	n := uint64(50000)
+	want := Serial(n)
+	for _, p := range []int{1, 2, 3, 7, 8} {
+		out, err := Distributed(Config{N: n, Procs: p, Model: model(8)})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		got := out.Result
+		if got.Pairs != want.Pairs {
+			t.Fatalf("p=%d: pairs %g vs %g", p, got.Pairs, want.Pairs)
+		}
+		for i := range want.Counts {
+			if got.Counts[i] != want.Counts[i] {
+				t.Fatalf("p=%d: bin %d: %g vs %g", p, i, got.Counts[i], want.Counts[i])
+			}
+		}
+		// sums combine in tree order: tolerate roundoff only
+		if math.Abs(got.SumX-want.SumX) > 1e-9 || math.Abs(got.SumY-want.SumY) > 1e-9 {
+			t.Fatalf("p=%d: sums differ beyond roundoff", p)
+		}
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	if _, err := Distributed(Config{N: 0, Procs: 2, Model: model(4)}); err == nil {
+		t.Fatal("N=0 should fail")
+	}
+	if _, err := Distributed(Config{N: 100, Procs: 99, Model: model(4)}); err == nil {
+		t.Fatal("too many procs should fail")
+	}
+}
+
+func TestNearPerfectScaling(t *testing.T) {
+	// EP's one-allreduce communication makes speedup near linear — the
+	// property that made it the NPB baseline.
+	n := uint64(10_000_000)
+	t1, err := Distributed(Config{N: n, Procs: 1, Model: model(64), Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t64, err := Distributed(Config{N: n, Procs: 64, Model: model(64), Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := t1.Time / t64.Time
+	if speedup < 60 {
+		t.Fatalf("EP speedup on 64 procs = %g, want > 60", speedup)
+	}
+}
+
+func TestPhantomNoResult(t *testing.T) {
+	out, err := Distributed(Config{N: 1000, Procs: 4, Model: model(4), Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result != nil {
+		t.Fatal("phantom mode should not tally")
+	}
+	if out.Time <= 0 {
+		t.Fatal("no virtual time charged")
+	}
+}

@@ -1,0 +1,158 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func model(cols int) machine.Model {
+	m := machine.Delta()
+	m.Rows, m.Cols = 1, cols
+	return m
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(50, 3), Random(50, 3)
+	for i := 0; i < 50; i++ {
+		if a.X[i] != b.X[i] || a.M[i] != b.M[i] {
+			t.Fatal("Random not deterministic")
+		}
+	}
+	c := Random(50, 4)
+	if a.X[0] == c.X[0] && a.X[1] == c.X[1] {
+		t.Fatal("different seeds gave identical positions")
+	}
+}
+
+func TestTwoBodySymmetry(t *testing.T) {
+	// Newton's third law: forces on a pair are equal and opposite.
+	s := &System{
+		X: []float64{0, 1}, Y: []float64{0, 0}, Z: []float64{0, 0},
+		VX: make([]float64, 2), VY: make([]float64, 2), VZ: make([]float64, 2),
+		M: []float64{2, 3},
+	}
+	fx, fy, fz := Forces(s)
+	if math.Abs(fx[0]+fx[1]) > 1e-15 || math.Abs(fy[0]+fy[1]) > 1e-15 || math.Abs(fz[0]+fz[1]) > 1e-15 {
+		t.Fatalf("forces not antisymmetric: %v %v", fx, fy)
+	}
+	// particle 0 is pulled toward +x
+	if fx[0] <= 0 {
+		t.Fatalf("fx[0] = %g, want positive", fx[0])
+	}
+	// magnitude ~ G m1 m2 / (r^2 + eps^2)^{3/2} * r
+	r2 := 1 + Softening*Softening
+	want := G * 2 * 3 / (r2 * math.Sqrt(r2))
+	if math.Abs(fx[0]-want) > 1e-12 {
+		t.Fatalf("fx[0] = %g, want %g", fx[0], want)
+	}
+}
+
+func TestMomentumConservedBySerialForces(t *testing.T) {
+	s := Random(60, 7)
+	fx, fy, fz := Forces(s)
+	var sx, sy, sz float64
+	for i := range fx {
+		sx += fx[i]
+		sy += fy[i]
+		sz += fz[i]
+	}
+	if math.Abs(sx) > 1e-9 || math.Abs(sy) > 1e-9 || math.Abs(sz) > 1e-9 {
+		t.Fatalf("net force not ~0: (%g, %g, %g)", sx, sy, sz)
+	}
+}
+
+func TestStepMovesParticles(t *testing.T) {
+	s := Random(10, 1)
+	x0 := append([]float64(nil), s.X...)
+	fx, fy, fz := Forces(s)
+	s.Step(fx, fy, fz, 0.01)
+	moved := false
+	for i := range s.X {
+		if s.X[i] != x0[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("Step did not move any particle")
+	}
+}
+
+func TestRingMatchesSerial(t *testing.T) {
+	n, seed := 64, int64(5)
+	s := Random(n, seed)
+	wfx, wfy, wfz := Forces(s)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		out, err := RingForces(Config{N: n, Procs: p, Seed: seed, Model: model(8)})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := 0; i < n; i++ {
+			scale := math.Abs(wfx[i]) + math.Abs(wfy[i]) + math.Abs(wfz[i]) + 1
+			if math.Abs(out.FX[i]-wfx[i]) > 1e-10*scale ||
+				math.Abs(out.FY[i]-wfy[i]) > 1e-10*scale ||
+				math.Abs(out.FZ[i]-wfz[i]) > 1e-10*scale {
+				t.Fatalf("p=%d: force on particle %d differs: (%g) vs (%g)",
+					p, i, out.FX[i], wfx[i])
+			}
+		}
+	}
+}
+
+func TestRingRaggedChunks(t *testing.T) {
+	// 13 particles over 4 procs: chunks 4,3,3,3
+	out, err := RingForces(Config{N: 13, Procs: 4, Seed: 2, Model: model(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.FX) != 13 {
+		t.Fatalf("got %d forces", len(out.FX))
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	m := model(4)
+	for i, cfg := range []Config{
+		{N: 0, Procs: 2, Model: m},
+		{N: 2, Procs: 4, Model: m},  // more procs than particles
+		{N: 8, Procs: 99, Model: m}, // more procs than nodes
+	} {
+		if _, err := RingForces(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPhantomFlopAccounting(t *testing.T) {
+	n := 128
+	out, err := RingForces(Config{N: n, Procs: 4, Seed: 1, Model: model(4), Phantom: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FX != nil {
+		t.Fatal("phantom should not return forces")
+	}
+	// total interactions = n*n minus self within own chunk ~ n^2
+	want := float64(InteractionFlops) * float64(n) * float64(n)
+	got := out.Result.TotalFlops
+	if got < 0.95*want || got > 1.05*want {
+		t.Fatalf("flops %g, want ~%g", got, want)
+	}
+}
+
+func TestChunkPartition(t *testing.T) {
+	total := 0
+	prevEnd := 0
+	for r := 0; r < 5; r++ {
+		s, c := chunk(23, 5, r)
+		if s != prevEnd {
+			t.Fatalf("chunk %d starts at %d, want %d", r, s, prevEnd)
+		}
+		prevEnd = s + c
+		total += c
+	}
+	if total != 23 {
+		t.Fatalf("chunks sum to %d", total)
+	}
+}

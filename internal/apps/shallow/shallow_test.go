@@ -1,0 +1,167 @@
+package shallow
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+func model(cols int) machine.Model {
+	m := machine.Delta()
+	m.Rows, m.Cols = 1, cols
+	return m
+}
+
+func TestDefaultParamsStable(t *testing.T) {
+	p := DefaultParams()
+	if cfl := p.CFL(); cfl >= 1 || cfl <= 0 {
+		t.Fatalf("CFL = %g, want in (0,1)", cfl)
+	}
+}
+
+func TestGaussianBumpCentred(t *testing.T) {
+	s := NewState(32, 32)
+	s.GaussianBump(2.0)
+	// peak at centre
+	peak, pk := 0.0, 0
+	for k, v := range s.H {
+		if v > peak {
+			peak, pk = v, k
+		}
+	}
+	if math.Abs(peak-2.0) > 1e-6 {
+		t.Fatalf("peak = %g, want ~2.0", peak)
+	}
+	ci, cj := pk/32, pk%32
+	if ci != 16 || cj != 16 {
+		t.Fatalf("peak at (%d,%d), want (16,16)", ci, cj)
+	}
+}
+
+func TestMassConservedExactly(t *testing.T) {
+	p := DefaultParams()
+	s := NewState(24, 24)
+	s.GaussianBump(1.0)
+	m0 := s.Mass()
+	for i := 0; i < 200; i++ {
+		s.Step(p)
+	}
+	if d := math.Abs(s.Mass() - m0); d > 1e-9*math.Abs(m0)+1e-9 {
+		t.Fatalf("mass drifted by %g over 200 steps", d)
+	}
+}
+
+func TestEnergyBounded(t *testing.T) {
+	p := DefaultParams()
+	s := NewState(24, 24)
+	s.GaussianBump(1.0)
+	e0 := s.Energy(p)
+	var maxE float64
+	for i := 0; i < 300; i++ {
+		s.Step(p)
+		if e := s.Energy(p); e > maxE {
+			maxE = e
+		}
+	}
+	// forward-backward is near-neutral within CFL: no energy blow-up
+	if maxE > 1.5*e0 {
+		t.Fatalf("energy grew from %g to %g — instability", e0, maxE)
+	}
+}
+
+func TestWavesPropagate(t *testing.T) {
+	// After enough steps, elevation at a point far from the bump must
+	// become non-zero: gravity waves radiate outward.
+	p := DefaultParams()
+	s := NewState(32, 32)
+	s.GaussianBump(1.0)
+	corner := 0 // far from centre (16,16)
+	if s.H[corner] > 1e-6 {
+		t.Fatal("corner should start near zero")
+	}
+	for i := 0; i < 150; i++ {
+		s.Step(p)
+	}
+	if math.Abs(s.H[corner]) < 1e-8 {
+		t.Fatal("no wave reached the corner after 150 steps")
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny grid should panic")
+		}
+	}()
+	NewState(2, 2)
+}
+
+func TestDistributedMatchesSerialBitwise(t *testing.T) {
+	p := DefaultParams()
+	nxc, nyc, steps := 16, 21, 30
+	ref := RunSerial(nxc, nyc, steps, p)
+	for _, procs := range []int{1, 2, 3, 7} {
+		out, err := RunDistributed(Config{
+			NX: nxc, NY: nyc, Steps: steps, Procs: procs,
+			Params: p, Model: model(8),
+		})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		for k := range ref.H {
+			if out.State.H[k] != ref.H[k] || out.State.U[k] != ref.U[k] || out.State.V[k] != ref.V[k] {
+				t.Fatalf("procs=%d: state differs at cell %d", procs, k)
+			}
+		}
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	m := model(4)
+	p := DefaultParams()
+	cases := []Config{
+		{NX: 2, NY: 8, Steps: 1, Procs: 2, Params: p, Model: m},
+		{NX: 8, NY: 8, Steps: -1, Procs: 2, Params: p, Model: m},
+		{NX: 8, NY: 3, Steps: 1, Procs: 4, Params: p, Model: m},
+		{NX: 8, NY: 8, Steps: 1, Procs: 99, Params: p, Model: m},
+	}
+	for i, cfg := range cases {
+		if _, err := RunDistributed(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPhantomChargesTimeAndTraffic(t *testing.T) {
+	out, err := RunDistributed(Config{
+		NX: 64, NY: 64, Steps: 5, Procs: 4,
+		Params: DefaultParams(), Model: model(4), Phantom: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.State != nil {
+		t.Fatal("phantom should not gather state")
+	}
+	if out.Time <= 0 || out.Result.TotalMsgs == 0 {
+		t.Fatalf("phantom run produced no activity: %+v", out)
+	}
+}
+
+func TestPhantomTimeMatchesReal(t *testing.T) {
+	cfg := Config{NX: 24, NY: 24, Steps: 10, Procs: 3,
+		Params: DefaultParams(), Model: model(4)}
+	real, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Phantom = true
+	ph, err := RunDistributed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real.Time-ph.Time) > 1e-9*real.Time {
+		t.Fatalf("virtual time mismatch: real %g phantom %g", real.Time, ph.Time)
+	}
+}

@@ -1,0 +1,49 @@
+package blas
+
+import "testing"
+
+// BenchmarkDgemm measures the host DGEMM rate on a 128^3 multiply; the
+// custom metric reports achieved MFLOPS so the simulator's per-node rates
+// can be put in context.
+func BenchmarkDgemm(b *testing.B) {
+	const n = 128
+	a := NewRandom(n, 1)
+	bb := NewRandom(n, 2)
+	c := make([]float64, n*n)
+	flops := 2 * float64(n) * float64(n) * float64(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dgemm(false, false, n, n, n, 1, a, n, bb, n, 0, c, n)
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(flops*float64(b.N)/sec/1e6, "MFLOPS")
+	}
+}
+
+// BenchmarkDgetrf measures blocked serial LU on a 256x256 matrix.
+func BenchmarkDgetrf(b *testing.B) {
+	const n = 256
+	orig := NewRandom(n, 3)
+	ipiv := make([]int, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		a := Clone(orig)
+		b.StartTimer()
+		if err := Dgetrf(n, n, a, n, 32, ipiv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDaxpy measures the streaming vector kernel.
+func BenchmarkDaxpy(b *testing.B) {
+	const n = 4096
+	x := NewRandom(64, 5)[:n]
+	y := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Daxpy(n, 1.5, x, 1, y, 1)
+	}
+}

@@ -1,0 +1,106 @@
+// Package blas provides the serial dense linear-algebra kernels the
+// distributed LINPACK implementation is built from: level-1/2/3 BLAS
+// subsets and LAPACK-style LU factorization with partial pivoting. All
+// matrices are column-major with an explicit leading dimension (stride
+// between columns), matching the conventions of the 1992-era codes.
+package blas
+
+import "math"
+
+// Daxpy computes y += alpha*x over n elements with the given strides.
+func Daxpy(n int, alpha float64, x []float64, incx int, y []float64, incy int) {
+	if n <= 0 || alpha == 0 {
+		return
+	}
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] += alpha * x[ix]
+		ix += incx
+		iy += incy
+	}
+}
+
+// Ddot returns the dot product of x and y over n elements.
+func Ddot(n int, x []float64, incx int, y []float64, incy int) float64 {
+	s := 0.0
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		s += x[ix] * y[iy]
+		ix += incx
+		iy += incy
+	}
+	return s
+}
+
+// Dscal scales x by alpha over n elements.
+func Dscal(n int, alpha float64, x []float64, incx int) {
+	ix := 0
+	for i := 0; i < n; i++ {
+		x[ix] *= alpha
+		ix += incx
+	}
+}
+
+// Dcopy copies n elements of x into y.
+func Dcopy(n int, x []float64, incx int, y []float64, incy int) {
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		y[iy] = x[ix]
+		ix += incx
+		iy += incy
+	}
+}
+
+// Idamax returns the index (in element counts, not slice offsets) of the
+// element of largest absolute value, or -1 for n <= 0.
+func Idamax(n int, x []float64, incx int) int {
+	if n <= 0 {
+		return -1
+	}
+	best, bi := math.Abs(x[0]), 0
+	ix := incx
+	for i := 1; i < n; i++ {
+		if a := math.Abs(x[ix]); a > best {
+			best, bi = a, i
+		}
+		ix += incx
+	}
+	return bi
+}
+
+// Dnrm2 returns the Euclidean norm of x over n elements, guarding against
+// overflow with the scaled-sum algorithm.
+func Dnrm2(n int, x []float64, incx int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	scale, ssq := 0.0, 1.0
+	ix := 0
+	for i := 0; i < n; i++ {
+		v := x[ix]
+		ix += incx
+		if v == 0 {
+			continue
+		}
+		a := math.Abs(v)
+		if scale < a {
+			r := scale / a
+			ssq = 1 + ssq*r*r
+			scale = a
+		} else {
+			r := a / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Dswap exchanges n elements of x and y.
+func Dswap(n int, x []float64, incx int, y []float64, incy int) {
+	ix, iy := 0, 0
+	for i := 0; i < n; i++ {
+		x[ix], y[iy] = y[iy], x[ix]
+		ix += incx
+		iy += incy
+	}
+}

@@ -1,0 +1,129 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDaxpy(t *testing.T) {
+	y := []float64{1, 2, 3}
+	Daxpy(3, 2, []float64{10, 20, 30}, 1, y, 1)
+	want := []float64{21, 42, 63}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("y = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestDaxpyStrided(t *testing.T) {
+	y := []float64{1, 0, 2, 0, 3}
+	Daxpy(3, 1, []float64{5, 5, 5}, 1, y, 2)
+	if y[0] != 6 || y[2] != 7 || y[4] != 8 || y[1] != 0 {
+		t.Fatalf("strided daxpy wrong: %v", y)
+	}
+}
+
+func TestDaxpyNoopCases(t *testing.T) {
+	y := []float64{1, 2}
+	Daxpy(0, 5, nil, 1, y, 1)
+	Daxpy(2, 0, []float64{9, 9}, 1, y, 1)
+	if y[0] != 1 || y[1] != 2 {
+		t.Fatalf("noop daxpy modified y: %v", y)
+	}
+}
+
+func TestDdot(t *testing.T) {
+	got := Ddot(3, []float64{1, 2, 3}, 1, []float64{4, 5, 6}, 1)
+	if got != 32 {
+		t.Fatalf("Ddot = %g, want 32", got)
+	}
+}
+
+func TestDscal(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Dscal(3, -2, x, 1)
+	if x[0] != -2 || x[1] != -4 || x[2] != -6 {
+		t.Fatalf("Dscal = %v", x)
+	}
+}
+
+func TestDcopyDswap(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := make([]float64, 3)
+	Dcopy(3, x, 1, y, 1)
+	if y[2] != 3 {
+		t.Fatalf("Dcopy = %v", y)
+	}
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	Dswap(2, a, 1, b, 1)
+	if a[0] != 3 || b[1] != 2 {
+		t.Fatalf("Dswap: a=%v b=%v", a, b)
+	}
+}
+
+func TestIdamax(t *testing.T) {
+	if i := Idamax(4, []float64{1, -7, 3, 7}, 1); i != 1 {
+		t.Fatalf("Idamax = %d, want 1 (first of equal |max|)", i)
+	}
+	if i := Idamax(0, nil, 1); i != -1 {
+		t.Fatalf("Idamax(0) = %d, want -1", i)
+	}
+	// strided: elements 0,2,4 = {1, 9, 2} -> index 1
+	if i := Idamax(3, []float64{1, 0, 9, 0, 2}, 2); i != 1 {
+		t.Fatalf("strided Idamax = %d, want 1", i)
+	}
+}
+
+func TestDnrm2(t *testing.T) {
+	if got := Dnrm2(2, []float64{3, 4}, 1); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Dnrm2 = %g, want 5", got)
+	}
+	if Dnrm2(0, nil, 1) != 0 {
+		t.Fatal("Dnrm2 of empty should be 0")
+	}
+	// overflow guard: huge values must not produce +Inf
+	big := 1e300
+	if got := Dnrm2(2, []float64{big, big}, 1); math.IsInf(got, 1) {
+		t.Fatal("Dnrm2 overflowed")
+	}
+}
+
+func TestDnrm2MatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		naive := 0.0
+		for _, v := range x {
+			naive += v * v
+		}
+		naive = math.Sqrt(naive)
+		return math.Abs(Dnrm2(n, x, 1)-naive) <= 1e-12*(1+naive)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDdotCommutativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(16)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i], y[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		return Ddot(n, x, 1, y, 1) == Ddot(n, y, 1, x, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

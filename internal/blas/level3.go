@@ -1,0 +1,160 @@
+package blas
+
+// Dgemv computes y = alpha*A*x + beta*y (trans=false) or
+// y = alpha*Aᵀ*x + beta*y (trans=true), where A is m x n column-major with
+// leading dimension lda.
+func Dgemv(trans bool, m, n int, alpha float64, a []float64, lda int,
+	x []float64, beta float64, y []float64) {
+	if !trans {
+		for i := 0; i < m; i++ {
+			y[i] *= beta
+		}
+		for j := 0; j < n; j++ {
+			ax := alpha * x[j]
+			col := a[j*lda:]
+			for i := 0; i < m; i++ {
+				y[i] += ax * col[i]
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		s := 0.0
+		col := a[j*lda:]
+		for i := 0; i < m; i++ {
+			s += col[i] * x[i]
+		}
+		y[j] = alpha*s + beta*y[j]
+	}
+}
+
+// Dger computes the rank-1 update A += alpha * x * yᵀ on the m x n
+// column-major matrix A with leading dimension lda. x and y are read with
+// the given strides, so y may be a matrix row (incy = lda).
+func Dger(m, n int, alpha float64, x []float64, incx int, y []float64, incy int, a []float64, lda int) {
+	iy := 0
+	for j := 0; j < n; j++ {
+		ay := alpha * y[iy]
+		iy += incy
+		if ay == 0 {
+			continue
+		}
+		col := a[j*lda:]
+		ix := 0
+		for i := 0; i < m; i++ {
+			col[i] += ay * x[ix]
+			ix += incx
+		}
+	}
+}
+
+// Dgemm computes C = alpha*op(A)*op(B) + beta*C for column-major matrices,
+// where op is identity or transpose per the flags. C is m x n, op(A) is
+// m x k and op(B) is k x n.
+func Dgemm(transA, transB bool, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int,
+	beta float64, c []float64, ldc int) {
+	// scale C
+	for j := 0; j < n; j++ {
+		col := c[j*ldc:]
+		if beta == 0 {
+			for i := 0; i < m; i++ {
+				col[i] = 0
+			}
+		} else if beta != 1 {
+			for i := 0; i < m; i++ {
+				col[i] *= beta
+			}
+		}
+	}
+	if alpha == 0 || k == 0 {
+		return
+	}
+	at := func(i, l int) float64 {
+		if transA {
+			return a[l+i*lda]
+		}
+		return a[i+l*lda]
+	}
+	if !transB {
+		for j := 0; j < n; j++ {
+			bcol := b[j*ldb:]
+			ccol := c[j*ldc:]
+			for l := 0; l < k; l++ {
+				ab := alpha * bcol[l]
+				if ab == 0 {
+					continue
+				}
+				if !transA {
+					acol := a[l*lda:]
+					for i := 0; i < m; i++ {
+						ccol[i] += ab * acol[i]
+					}
+				} else {
+					for i := 0; i < m; i++ {
+						ccol[i] += ab * at(i, l)
+					}
+				}
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		ccol := c[j*ldc:]
+		for l := 0; l < k; l++ {
+			ab := alpha * b[j+l*ldb]
+			if ab == 0 {
+				continue
+			}
+			if !transA {
+				acol := a[l*lda:]
+				for i := 0; i < m; i++ {
+					ccol[i] += ab * acol[i]
+				}
+			} else {
+				for i := 0; i < m; i++ {
+					ccol[i] += ab * at(i, l)
+				}
+			}
+		}
+	}
+}
+
+// DtrsmLLNU solves L * X = B in place for X, where L is the n x n unit
+// lower-triangular factor stored in a (lda) and B is n x m column-major in
+// b (ldb). ("Left, Lower, No-transpose, Unit-diagonal".) This is the
+// triangular solve applied to the U12 block row in blocked LU.
+func DtrsmLLNU(n, m int, a []float64, lda int, b []float64, ldb int) {
+	for j := 0; j < m; j++ {
+		col := b[j*ldb:]
+		for i := 0; i < n; i++ {
+			v := col[i]
+			if v == 0 {
+				continue
+			}
+			lcol := a[i*lda:]
+			for r := i + 1; r < n; r++ {
+				col[r] -= v * lcol[r]
+			}
+		}
+	}
+}
+
+// DtrsmLUNN solves U * X = B in place for X, where U is the n x n upper
+// triangular factor (non-unit diagonal) in a and B is n x m in b.
+func DtrsmLUNN(n, m int, a []float64, lda int, b []float64, ldb int) {
+	for j := 0; j < m; j++ {
+		col := b[j*ldb:]
+		for i := n - 1; i >= 0; i-- {
+			v := col[i] / a[i+i*lda]
+			col[i] = v
+			if v == 0 {
+				continue
+			}
+			ucol := a[i*lda:]
+			for r := 0; r < i; r++ {
+				col[r] -= v * ucol[r]
+			}
+		}
+	}
+}

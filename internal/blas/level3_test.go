@@ -1,0 +1,205 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveGemm is the obviously correct reference.
+func naiveGemm(transA, transB bool, m, n, k int, alpha float64,
+	a []float64, lda int, b []float64, ldb int, beta float64, c []float64, ldc int) {
+	get := func(mat []float64, ld, i, j int, trans bool) float64 {
+		if trans {
+			i, j = j, i
+		}
+		return mat[i+j*ld]
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			s := 0.0
+			for l := 0; l < k; l++ {
+				s += get(a, lda, i, l, transA) * get(b, ldb, l, j, transB)
+			}
+			c[i+j*ldc] = alpha*s + beta*c[i+j*ldc]
+		}
+	}
+}
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestDgemvNoTrans(t *testing.T) {
+	// A = [1 3; 2 4] column-major, x = (1,1): Ax = (4, 6)
+	a := []float64{1, 2, 3, 4}
+	y := []float64{100, 100}
+	Dgemv(false, 2, 2, 1, a, 2, []float64{1, 1}, 0, y)
+	if y[0] != 4 || y[1] != 6 {
+		t.Fatalf("Dgemv = %v, want [4 6]", y)
+	}
+}
+
+func TestDgemvTrans(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	y := []float64{0, 0}
+	Dgemv(true, 2, 2, 1, a, 2, []float64{1, 1}, 0, y)
+	if y[0] != 3 || y[1] != 7 {
+		t.Fatalf("Dgemv^T = %v, want [3 7]", y)
+	}
+}
+
+func TestDgemvBeta(t *testing.T) {
+	a := []float64{1, 0, 0, 1} // identity
+	y := []float64{10, 20}
+	Dgemv(false, 2, 2, 1, a, 2, []float64{1, 2}, 0.5, y)
+	if y[0] != 6 || y[1] != 12 {
+		t.Fatalf("Dgemv with beta = %v, want [6 12]", y)
+	}
+}
+
+func TestDger(t *testing.T) {
+	a := make([]float64, 4) // 2x2 zero
+	Dger(2, 2, 2, []float64{1, 2}, 1, []float64{3, 4}, 1, a, 2)
+	// A = 2 * x y^T = [[6,8],[12,16]] column-major: {6,12,8,16}
+	want := []float64{6, 12, 8, 16}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("Dger = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestDgerStridedY(t *testing.T) {
+	// y read with stride 2 from {3, 0, 4}: same result as above
+	a := make([]float64, 4)
+	Dger(2, 2, 2, []float64{1, 2}, 1, []float64{3, 99, 4}, 2, a, 2)
+	want := []float64{6, 12, 8, 16}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Fatalf("strided Dger = %v, want %v", a, want)
+		}
+	}
+}
+
+func TestDgemmAgainstNaiveAllTransposeCombos(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tA := range []bool{false, true} {
+		for _, tB := range []bool{false, true} {
+			m, n, k := 5, 4, 3
+			lda, ldb, ldc := 7, 6, 8 // padded leading dimensions
+			adim := k
+			if !tA {
+				adim = k // a is m x k stored with lda rows if !tA: need lda >= m
+			}
+			_ = adim
+			a := randSlice(rng, lda*max(m, k))
+			b := randSlice(rng, ldb*max(k, n))
+			c := randSlice(rng, ldc*n)
+			cRef := Clone(c)
+			alpha, beta := 1.5, -0.5
+			Dgemm(tA, tB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+			naiveGemm(tA, tB, m, n, k, alpha, a, lda, b, ldb, beta, cRef, ldc)
+			if d := MaxAbsDiff(c, cRef); d > 1e-12 {
+				t.Fatalf("transA=%v transB=%v: Dgemm differs from naive by %g", tA, tB, d)
+			}
+		}
+	}
+}
+
+func TestDgemmBetaZeroOverwritesNaN(t *testing.T) {
+	// beta=0 must overwrite even NaN garbage in C (BLAS convention).
+	c := []float64{math.NaN(), math.NaN()}
+	a := []float64{1, 2} // 2x1
+	b := []float64{3}    // 1x1
+	Dgemm(false, false, 2, 1, 1, 1, a, 2, b, 1, 0, c, 2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Dgemm beta=0 = %v, want [3 6]", c)
+	}
+}
+
+func TestDgemmAlphaZero(t *testing.T) {
+	c := []float64{1, 2}
+	Dgemm(false, false, 2, 1, 1, 0, []float64{9, 9}, 2, []float64{9}, 1, 2, c, 2)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("alpha=0 should just scale C: %v", c)
+	}
+}
+
+func TestDgemmPropertyRandomShapes(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n, k := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		tA, tB := rng.Intn(2) == 1, rng.Intn(2) == 1
+		lda := max(m, k) + rng.Intn(3)
+		ldb := max(k, n) + rng.Intn(3)
+		ldc := m + rng.Intn(3)
+		a := randSlice(rng, lda*max(m, k))
+		b := randSlice(rng, ldb*max(k, n))
+		c := randSlice(rng, ldc*n)
+		cRef := Clone(c)
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		Dgemm(tA, tB, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc)
+		naiveGemm(tA, tB, m, n, k, alpha, a, lda, b, ldb, beta, cRef, ldc)
+		return MaxAbsDiff(c, cRef) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDtrsmLLNU(t *testing.T) {
+	// L = [[1,0],[2,1]] (unit diag), B = L*X for X=[[1],[3]] => B = [[1],[5]]
+	l := []float64{1, 2, 0, 1} // column-major
+	b := []float64{1, 5}
+	DtrsmLLNU(2, 1, l, 2, b, 2)
+	if b[0] != 1 || b[1] != 3 {
+		t.Fatalf("DtrsmLLNU = %v, want [1 3]", b)
+	}
+}
+
+func TestDtrsmLUNN(t *testing.T) {
+	// U = [[2,1],[0,4]], X = [[1],[2]] => B = U*X = [[4],[8]]
+	u := []float64{2, 0, 1, 4}
+	b := []float64{4, 8}
+	DtrsmLUNN(2, 1, u, 2, b, 2)
+	if b[0] != 1 || b[1] != 2 {
+		t.Fatalf("DtrsmLUNN = %v, want [1 2]", b)
+	}
+}
+
+func TestDtrsmRoundTripProperty(t *testing.T) {
+	// Property: for random unit-lower L and random X, solving L*(LX) = LX
+	// recovers X.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m := 1+rng.Intn(6), 1+rng.Intn(4)
+		l := make([]float64, n*n)
+		for j := 0; j < n; j++ {
+			l[j+j*n] = 1
+			for i := j + 1; i < n; i++ {
+				l[i+j*n] = rng.NormFloat64()
+			}
+		}
+		x := randSlice(rng, n*m)
+		b := make([]float64, n*m)
+		Dgemm(false, false, n, m, n, 1, l, n, x, n, 0, b, n)
+		DtrsmLLNU(n, m, l, n, b, n)
+		return MaxAbsDiff(b, x) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

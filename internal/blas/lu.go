@@ -1,0 +1,139 @@
+package blas
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular reports an exactly zero pivot during factorization.
+var ErrSingular = errors.New("blas: matrix is singular to working precision")
+
+// Dgetf2 computes an unblocked LU factorization with partial pivoting of
+// the m x n column-major panel a (leading dimension lda): A = P*L*U. On
+// return a holds L (unit diagonal implicit) below the diagonal and U on and
+// above it; ipiv[k] records the row swapped with row k (0-based, panel
+// local). It is the per-node panel kernel of the distributed factorization.
+func Dgetf2(m, n int, a []float64, lda int, ipiv []int) error {
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	for k := 0; k < mn; k++ {
+		col := a[k*lda:]
+		p := k + Idamax(m-k, col[k:], 1)
+		ipiv[k] = p
+		if a[p+k*lda] == 0 {
+			return fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			Dswap(n, a[k:], lda, a[p:], lda)
+		}
+		piv := 1 / col[k]
+		for i := k + 1; i < m; i++ {
+			col[i] *= piv
+		}
+		// rank-1 update of the trailing (m-k-1) x (n-k-1) block:
+		// x is the L column below the pivot (stride 1); y is the U row
+		// right of the pivot (stride lda).
+		if k+1 < m && k+1 < n {
+			Dger(m-k-1, n-k-1, -1, col[k+1:], 1, a[k+(k+1)*lda:], lda, a[(k+1)+(k+1)*lda:], lda)
+		}
+	}
+	return nil
+}
+
+// Dlaswp applies the row interchanges ipiv[k0:k1] to the n columns of a:
+// for each k, row k is swapped with row ipiv[k]. It mirrors LAPACK's
+// DLASWP with increment 1.
+func Dlaswp(n int, a []float64, lda int, k0, k1 int, ipiv []int) {
+	for k := k0; k < k1; k++ {
+		p := ipiv[k]
+		if p != k {
+			Dswap(n, a[k:], lda, a[p:], lda)
+		}
+	}
+}
+
+// Dgetrf computes a blocked LU factorization with partial pivoting of the
+// m x n matrix a using block size nb: the serial reference for the
+// distributed algorithm (right-looking variant, identical operation order).
+func Dgetrf(m, n int, a []float64, lda, nb int, ipiv []int) error {
+	if nb < 1 {
+		return errors.New("blas: Dgetrf block size must be >= 1")
+	}
+	mn := m
+	if n < mn {
+		mn = n
+	}
+	for j := 0; j < mn; j += nb {
+		jb := nb
+		if j+jb > mn {
+			jb = mn - j
+		}
+		// factor panel A[j:m, j:j+jb]
+		panelPiv := make([]int, jb)
+		if err := Dgetf2(m-j, jb, a[j+j*lda:], lda, panelPiv); err != nil {
+			return fmt.Errorf("panel at column %d: %w", j, err)
+		}
+		for k := 0; k < jb; k++ {
+			ipiv[j+k] = panelPiv[k] + j
+		}
+		// apply interchanges to columns left of the panel
+		Dlaswp(j, a, lda, j, j+jb, ipiv)
+		if j+jb < n {
+			// apply interchanges to columns right of the panel
+			Dlaswp(n-j-jb, a[(j+jb)*lda:], lda, j, j+jb, ipiv)
+			// U12 = L11^-1 * A12
+			DtrsmLLNU(jb, n-j-jb, a[j+j*lda:], lda, a[j+(j+jb)*lda:], lda)
+			if j+jb < m {
+				// A22 -= L21 * U12
+				Dgemm(false, false, m-j-jb, n-j-jb, jb, -1,
+					a[(j+jb)+j*lda:], lda,
+					a[j+(j+jb)*lda:], lda,
+					1, a[(j+jb)+(j+jb)*lda:], lda)
+			}
+		}
+	}
+	return nil
+}
+
+// Dgetrs solves A*x = b using the factorization computed by Dgetrf: applies
+// the row interchanges to b, then forward- and back-substitutes. b is
+// overwritten with the solution.
+func Dgetrs(n int, a []float64, lda int, ipiv []int, b []float64) {
+	for k := 0; k < n; k++ {
+		if p := ipiv[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	// L y = Pb (unit lower)
+	for i := 0; i < n; i++ {
+		v := b[i]
+		if v == 0 {
+			continue
+		}
+		col := a[i*lda:]
+		for r := i + 1; r < n; r++ {
+			b[r] -= v * col[r]
+		}
+	}
+	// U x = y
+	for i := n - 1; i >= 0; i-- {
+		v := b[i] / a[i+i*lda]
+		b[i] = v
+		if v == 0 {
+			continue
+		}
+		col := a[i*lda:]
+		for r := 0; r < i; r++ {
+			b[r] -= v * col[r]
+		}
+	}
+}
+
+// LUFlops returns the standard LINPACK operation count for factoring and
+// solving an n x n system: 2n³/3 + 2n².
+func LUFlops(n int) float64 {
+	fn := float64(n)
+	return 2*fn*fn*fn/3 + 2*fn*fn
+}

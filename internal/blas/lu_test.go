@@ -1,0 +1,196 @@
+package blas
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDgetf2Known2x2(t *testing.T) {
+	// A = [[4,3],[6,3]] column-major {4,6,3,3}; pivot swaps rows 0,1:
+	// PA = [[6,3],[4,3]], L21 = 4/6 = 2/3, U = [[6,3],[0,1]]
+	a := []float64{4, 6, 3, 3}
+	ipiv := make([]int, 2)
+	if err := Dgetf2(2, 2, a, 2, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	if ipiv[0] != 1 {
+		t.Fatalf("ipiv = %v, want first pivot 1", ipiv)
+	}
+	if math.Abs(a[1]-2.0/3) > 1e-15 { // L21 stored at (1,0)
+		t.Fatalf("L21 = %g, want 2/3", a[1])
+	}
+	if a[0] != 6 || a[2] != 3 || math.Abs(a[3]-1) > 1e-15 {
+		t.Fatalf("U wrong: %v", a)
+	}
+}
+
+func TestDgetf2SingularReported(t *testing.T) {
+	a := []float64{1, 2, 2, 4} // rank 1
+	ipiv := make([]int, 2)
+	err := Dgetf2(2, 2, a, 2, ipiv)
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestDgetrfReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 32} {
+		for _, nb := range []int{1, 2, 4, 8} {
+			a := NewRandom(n, 7)
+			orig := Clone(a)
+			ipiv := make([]int, n)
+			if err := Dgetrf(n, n, a, n, nb, ipiv); err != nil {
+				t.Fatalf("n=%d nb=%d: %v", n, nb, err)
+			}
+			rec := ReconstructLU(n, a, ipiv)
+			if d := MaxAbsDiff(rec, orig); d > 1e-10*float64(n) {
+				t.Fatalf("n=%d nb=%d: reconstruction error %g", n, nb, d)
+			}
+		}
+	}
+}
+
+func TestDgetrfBlockSizeInvariance(t *testing.T) {
+	// The factorization must be identical (same pivots, same factors up to
+	// roundoff) regardless of block size.
+	n := 24
+	ref := NewRandom(n, 3)
+	refPiv := make([]int, n)
+	refLU := Clone(ref)
+	if err := Dgetrf(n, n, refLU, n, 1, refPiv); err != nil {
+		t.Fatal(err)
+	}
+	for _, nb := range []int{2, 3, 8, 24, 100} {
+		lu := Clone(ref)
+		piv := make([]int, n)
+		if err := Dgetrf(n, n, lu, n, nb, piv); err != nil {
+			t.Fatalf("nb=%d: %v", nb, err)
+		}
+		for k := range piv {
+			if piv[k] != refPiv[k] {
+				t.Fatalf("nb=%d: pivot %d differs: %d vs %d", nb, k, piv[k], refPiv[k])
+			}
+		}
+		if d := MaxAbsDiff(lu, refLU); d > 1e-11 {
+			t.Fatalf("nb=%d: factors differ by %g", nb, d)
+		}
+	}
+}
+
+func TestDgetrfRejectsBadBlockSize(t *testing.T) {
+	a := NewRandom(4, 1)
+	if err := Dgetrf(4, 4, a, 4, 0, make([]int, 4)); err == nil {
+		t.Fatal("nb=0 should be rejected")
+	}
+}
+
+func TestDgetrsSolves(t *testing.T) {
+	n := 50
+	a := NewRandom(n, 11)
+	orig := Clone(a)
+	// b = A * ones
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	b := MatVec(n, a, x)
+	ipiv := make([]int, n)
+	if err := Dgetrf(n, n, a, n, 8, ipiv); err != nil {
+		t.Fatal(err)
+	}
+	Dgetrs(n, a, n, ipiv, b)
+	for i := range b {
+		if math.Abs(b[i]-1) > 1e-8 {
+			t.Fatalf("x[%d] = %g, want 1", i, b[i])
+		}
+	}
+	// LINPACK residual must be O(1)
+	bb := MatVec(n, orig, b)
+	if r := ResidualNorm(n, orig, b, bb); r > 10 {
+		t.Fatalf("normalized residual %g too large", r)
+	}
+}
+
+func TestSolvePropertyRandomSystems(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		a := NewRandom(n, seed)
+		orig := Clone(a)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MatVec(n, orig, want)
+		rhs := Clone(b)
+		ipiv := make([]int, n)
+		if err := Dgetrf(n, n, a, n, 4, ipiv); err != nil {
+			return true // singular random draw: vacuously fine
+		}
+		Dgetrs(n, a, n, ipiv, rhs)
+		// Check the backward error (LINPACK residual): forward error can
+		// legitimately be large for ill-conditioned draws.
+		return ResidualNorm(n, orig, rhs, b) < 50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDlaswp(t *testing.T) {
+	// 3x2 matrix, swap row 0 with row 2
+	a := []float64{1, 2, 3, 4, 5, 6} // cols {1,2,3} {4,5,6}
+	Dlaswp(2, a, 3, 0, 1, []int{2})
+	if a[0] != 3 || a[2] != 1 || a[3] != 6 || a[5] != 4 {
+		t.Fatalf("Dlaswp = %v", a)
+	}
+}
+
+func TestLUFlops(t *testing.T) {
+	// n=25000 gives the paper's 1.042e13 operation count
+	got := LUFlops(25000)
+	want := 2.0*25000*25000*25000/3 + 2.0*25000*25000
+	if got != want {
+		t.Fatalf("LUFlops = %g, want %g", got, want)
+	}
+	if LUFlops(1) != 2.0/3+2 {
+		t.Fatalf("LUFlops(1) = %g", LUFlops(1))
+	}
+}
+
+func TestNewRandomDeterministic(t *testing.T) {
+	a := NewRandom(10, 5)
+	b := NewRandom(10, 5)
+	if MaxAbsDiff(a, b) != 0 {
+		t.Fatal("NewRandom not deterministic for equal seeds")
+	}
+	c := NewRandom(10, 6)
+	if MaxAbsDiff(a, c) == 0 {
+		t.Fatal("NewRandom identical across different seeds")
+	}
+	for _, v := range a {
+		if v < -0.5 || v >= 0.5 {
+			t.Fatalf("entry %g outside [-0.5, 0.5)", v)
+		}
+	}
+}
+
+func TestInfNorm(t *testing.T) {
+	// A = [[1,-2],[3,4]] column-major {1,3,-2,4}: row sums {3, 7}
+	a := []float64{1, 3, -2, 4}
+	if got := InfNorm(2, a); got != 7 {
+		t.Fatalf("InfNorm = %g, want 7", got)
+	}
+}
+
+func TestVecInfNorm(t *testing.T) {
+	if got := VecInfNorm([]float64{1, -9, 3}); got != 9 {
+		t.Fatalf("VecInfNorm = %g, want 9", got)
+	}
+	if VecInfNorm(nil) != 0 {
+		t.Fatal("VecInfNorm(nil) != 0")
+	}
+}

@@ -1,0 +1,120 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRandom returns an n x n column-major matrix with entries uniform in
+// [-0.5, 0.5), the LINPACK driver's test matrix distribution, generated
+// deterministically from seed.
+func NewRandom(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n*n)
+	for i := range a {
+		a[i] = rng.Float64() - 0.5
+	}
+	return a
+}
+
+// Clone copies a matrix.
+func Clone(a []float64) []float64 {
+	return append([]float64(nil), a...)
+}
+
+// MatVec computes y = A*x for the n x n column-major matrix a.
+func MatVec(n int, a []float64, x []float64) []float64 {
+	y := make([]float64, n)
+	Dgemv(false, n, n, 1, a, n, x, 0, y)
+	return y
+}
+
+// InfNorm returns the infinity norm (max absolute row sum) of the n x n
+// column-major matrix a.
+func InfNorm(n int, a []float64) float64 {
+	rows := make([]float64, n)
+	for j := 0; j < n; j++ {
+		col := a[j*n:]
+		for i := 0; i < n; i++ {
+			rows[i] += math.Abs(col[i])
+		}
+	}
+	m := 0.0
+	for _, r := range rows {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// VecInfNorm returns the infinity norm of a vector.
+func VecInfNorm(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ResidualNorm returns the LINPACK-style normalized residual
+// ‖Ax − b‖∞ / (‖A‖∞ ‖x‖∞ n ε) for a solve of the original matrix a. Values
+// of order 1 indicate a numerically correct solve.
+func ResidualNorm(n int, a []float64, x, b []float64) float64 {
+	ax := MatVec(n, a, x)
+	r := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > r {
+			r = d
+		}
+	}
+	den := InfNorm(n, a) * VecInfNorm(x) * float64(n) * 2.220446049250313e-16
+	if den == 0 {
+		return 0
+	}
+	return r / den
+}
+
+// ReconstructLU multiplies the packed LU factors back together and applies
+// the inverse permutation, returning P⁻¹·L·U, which should reproduce the
+// original matrix. Used by factorization tests.
+func ReconstructLU(n int, lu []float64, ipiv []int) []float64 {
+	l := make([]float64, n*n)
+	u := make([]float64, n*n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			v := lu[i+j*n]
+			switch {
+			case i > j:
+				l[i+j*n] = v
+			case i == j:
+				l[i+j*n] = 1
+				u[i+j*n] = v
+			default:
+				u[i+j*n] = v
+			}
+		}
+	}
+	prod := make([]float64, n*n)
+	Dgemm(false, false, n, n, n, 1, l, n, u, n, 0, prod, n)
+	// undo the row interchanges in reverse order
+	for k := n - 1; k >= 0; k-- {
+		if k < len(ipiv) && ipiv[k] != k {
+			Dswap(n, prod[k:], n, prod[ipiv[k]:], n)
+		}
+	}
+	return prod
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]| for equal-length slices.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,268 @@
+// Package core is the public face of the library: it assembles the federal
+// HPCC program model the paper describes — the four program components, the
+// agencies and budgets, the Touchstone Delta machine model, the consortium
+// network — and exposes every paper exhibit (E1-E7) as a runnable
+// experiment.
+//
+// A downstream user builds a Program with NewProgram and either runs a
+// single experiment by ID or regenerates the full report:
+//
+//	prog := core.NewProgram()
+//	text, err := prog.RunExperiment("E4") // Delta LINPACK
+//	err = prog.WriteReport(os.Stdout)     // everything
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/agency"
+	"repro/internal/apps/shallow"
+	"repro/internal/apps/stencil"
+	"repro/internal/funding"
+	"repro/internal/linpack"
+	"repro/internal/machine"
+	"repro/internal/nren"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// Program models the HPCC program: participating agencies and budgets plus
+// the technical artifacts (flagship machine, consortium network).
+type Program struct {
+	// Machine is the flagship machine model (the Touchstone Delta).
+	Machine machine.Model
+	// Network is the consortium wide-area topology.
+	Network *topo.Graph
+	// Budget is the FY92-93 funding table.
+	Budget []funding.Line
+	// Agencies is the responsibilities matrix.
+	Agencies []agency.Agency
+	// Quick shrinks the expensive experiments (E4, E6, E7) to small
+	// configurations for fast smoke runs; headline numbers then no longer
+	// match the paper.
+	Quick bool
+}
+
+// NewProgram assembles the full 1992 program model.
+func NewProgram() *Program {
+	return &Program{
+		Machine:  machine.Delta(),
+		Network:  topo.Consortium(),
+		Budget:   funding.FY9293(),
+		Agencies: agency.All(),
+	}
+}
+
+// Experiment is one paper exhibit with the code that regenerates it.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // what the paper reports
+	Run   func(p *Program) (string, error)
+}
+
+// Experiments returns all exhibits in paper order.
+func (p *Program) Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID:    "E1",
+			Title: "Federal HPCC program funding FY92-93",
+			Paper: "8 agencies; totals $654.8M (FY92) and $802.9M (FY93)",
+			Run:   runE1,
+		},
+		{
+			ID:    "E2",
+			Title: "Federal HPCC program responsibilities matrix",
+			Paper: "agencies x {HPCS, ASTA, NREN, BRHR}",
+			Run:   runE2,
+		},
+		{
+			ID:    "E3",
+			Title: "Touchstone Delta peak speed",
+			Paper: "peak speed of 32 GFLOPS using the 528 numeric processors",
+			Run:   runE3,
+		},
+		{
+			ID:    "E4",
+			Title: "Delta LINPACK benchmark",
+			Paper: "13 GFLOPS on a LINPACK code of order 25,000 by 25,000",
+			Run:   runE4,
+		},
+		{
+			ID:    "E5",
+			Title: "Delta Consortium network connections",
+			Paper: "NSFnet T1/T3, ESnet T1, CASA HIPPI/SONET 800 Mbps, regional T1 and 56 kbps",
+			Run:   runE5,
+		},
+		{
+			ID:    "E6",
+			Title: "Computational aerosciences testbed scaling",
+			Paper: "CAS consortium applications exploit the Delta testbed",
+			Run:   runE6,
+		},
+		{
+			ID:    "E7",
+			Title: "Ocean/atmosphere Grand Challenge scaling",
+			Paper: "NOAA/EPA ocean and atmospheric computation research on HPCC testbeds",
+			Run:   runE7,
+		},
+	}
+}
+
+// RunExperiment regenerates a single exhibit by ID ("E1".."E7").
+func (p *Program) RunExperiment(id string) (string, error) {
+	for _, e := range p.Experiments() {
+		if strings.EqualFold(e.ID, id) {
+			return e.Run(p)
+		}
+	}
+	var ids []string
+	for _, e := range p.Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return "", fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+}
+
+// WriteReport regenerates every exhibit into w.
+func (p *Program) WriteReport(w io.Writer) error {
+	for _, e := range p.Experiments() {
+		out, err := e.Run(p)
+		if err != nil {
+			return fmt.Errorf("core: %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", e.ID, e.Title, e.Paper, out)
+	}
+	return nil
+}
+
+func runE1(*Program) (string, error) {
+	return funding.Table().Render() + "\n" + funding.GrowthTable().Render(), nil
+}
+
+func runE2(*Program) (string, error) {
+	return agency.Matrix().Render(), nil
+}
+
+func runE3(p *Program) (string, error) {
+	t := report.NewTable("Concurrent Supercomputer Consortium: Intel Touchstone Delta",
+		"Property", "Value")
+	t.AddRow("Numeric processors", report.Cellf("%d", p.Machine.Nodes()))
+	t.AddRow("Mesh", report.Cellf("%d x %d", p.Machine.Rows, p.Machine.Cols))
+	t.AddRow("Per-node peak", report.Cellf("%.1f MFLOPS", p.Machine.Compute.PeakMFlops))
+	t.AddRow("Aggregate peak", report.Cellf("%.1f GFLOPS", p.Machine.PeakGFlops()))
+	t.AddRow("Consortium partners", report.Cellf("%d organizations", len(agency.DeltaPartners())))
+	return t.Render(), nil
+}
+
+// DeltaLinpack returns the paper's benchmark configuration (or the scaled
+// quick version).
+func (p *Program) DeltaLinpack() linpack.Config {
+	cfg := linpack.Config{
+		N: 25000, NB: 16, GridRows: 16, GridCols: 33,
+		Model: p.Machine, Phantom: true, Seed: 1992,
+	}
+	if p.Quick {
+		cfg.N, cfg.GridRows, cfg.GridCols = 2048, 4, 8
+	}
+	return cfg
+}
+
+func runE4(p *Program) (string, error) {
+	cfg := p.DeltaLinpack()
+	out, err := linpack.Run(cfg)
+	if err != nil {
+		return "", err
+	}
+	t := report.NewTable("LINPACK on the Touchstone Delta model", "Quantity", "Value")
+	t.AddRow("Matrix order N", report.Cellf("%d", out.N))
+	t.AddRow("Process grid", report.Cellf("%d x %d", out.GridRows, out.GridCols))
+	t.AddRow("Block size", report.Cellf("%d", out.NB))
+	t.AddRow("Simulated time", report.Cellf("%.1f s", out.FactTime))
+	t.AddRow("Simulated rate", report.Cellf("%.2f GFLOPS", out.GFlops))
+	t.AddRow("Efficiency vs peak", report.Cellf("%.1f %%", out.Efficiency*100))
+	t.AddRow("Analytic model rate", report.Cellf("%.2f GFLOPS", linpack.PredictGFlops(cfg)))
+	t.AddRow("Paper's measured rate", "13 GFLOPS")
+	return t.Render(), nil
+}
+
+func runE5(p *Program) (string, error) {
+	classTbl, err := nren.LinkClassTable(10e6)
+	if err != nil {
+		return "", err
+	}
+	sites := []string{topo.SiteCaltech, topo.SiteJPL, topo.SiteSDSC, topo.SiteLANL, topo.SiteRice, topo.SiteRegional}
+	m, err := nren.TransferMatrix(p.Network, sites, 10e6)
+	if err != nil {
+		return "", err
+	}
+	matTbl := nren.MatrixTable("10 MB transfer times between consortium sites (seconds)", sites, m)
+	classes := topo.Classes()
+	labels := make([]string, len(classes))
+	rates := make([]float64, len(classes))
+	for i, c := range classes {
+		labels[i] = c.Name
+		rates[i] = c.Mbps
+	}
+	chart := report.LogBarChart("Link rates (Mbps, log scale)", labels, rates, 40)
+	return classTbl.Render() + "\n" + matTbl.Render() + "\n" + chart, nil
+}
+
+func (p *Program) scalingProcs() []int {
+	if p.Quick {
+		return []int{1, 4, 16}
+	}
+	return []int{1, 4, 16, 66, 264, 528}
+}
+
+func runE6(p *Program) (string, error) {
+	grid := 1056
+	iters := 20
+	if p.Quick {
+		grid, iters = 256, 5
+	}
+	pts, err := stencil.StrongScaling(p.Machine, grid, grid, iters, p.scalingProcs())
+	if err != nil {
+		return "", err
+	}
+	t := report.NewTable(
+		report.Cellf("CFD relaxation kernel, %dx%d grid, strong scaling on the Delta model", grid, grid),
+		"Procs", "Time(s)", "Speedup", "Efficiency")
+	for _, pt := range pts {
+		t.AddRow(report.Cellf("%d", pt.Procs), report.Cellf("%.3f", pt.Time),
+			report.Cellf("%.1f", pt.Speedup), report.Cellf("%.2f", pt.Efficiency))
+	}
+	return t.Render(), nil
+}
+
+func runE7(p *Program) (string, error) {
+	grid := 1056
+	steps := 20
+	if p.Quick {
+		grid, steps = 256, 5
+	}
+	params := shallow.DefaultParams()
+	t := report.NewTable(
+		report.Cellf("Shallow-water model, %dx%d grid, strong scaling on the Delta model", grid, grid),
+		"Procs", "Time(s)", "Speedup", "Efficiency")
+	var t1 float64
+	for i, procs := range p.scalingProcs() {
+		out, err := shallow.RunDistributed(shallow.Config{
+			NX: grid, NY: grid, Steps: steps, Procs: procs,
+			Params: params, Model: p.Machine, Phantom: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		if i == 0 {
+			t1 = out.Time * float64(p.scalingProcs()[0])
+		}
+		speedup := t1 / out.Time
+		t.AddRow(report.Cellf("%d", procs), report.Cellf("%.3f", out.Time),
+			report.Cellf("%.1f", speedup), report.Cellf("%.2f", speedup/float64(procs)))
+	}
+	return t.Render(), nil
+}

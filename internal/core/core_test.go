@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewProgramAssembled(t *testing.T) {
+	p := NewProgram()
+	if p.Machine.Nodes() != 528 {
+		t.Fatalf("machine nodes = %d", p.Machine.Nodes())
+	}
+	if p.Network.Nodes() < 10 {
+		t.Fatalf("network too small: %d", p.Network.Nodes())
+	}
+	if len(p.Budget) != 8 || len(p.Agencies) != 8 {
+		t.Fatalf("budget %d / agencies %d, want 8/8", len(p.Budget), len(p.Agencies))
+	}
+}
+
+func TestSevenExperimentsOrdered(t *testing.T) {
+	exps := NewProgram().Experiments()
+	if len(exps) != 7 {
+		t.Fatalf("%d experiments, want 7", len(exps))
+	}
+	for i, e := range exps {
+		wantID := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"}[i]
+		if e.ID != wantID {
+			t.Fatalf("experiment %d has ID %s, want %s", i, e.ID, wantID)
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestRunExperimentUnknownID(t *testing.T) {
+	_, err := NewProgram().RunExperiment("E99")
+	if err == nil || !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}
+
+func TestRunExperimentCaseInsensitive(t *testing.T) {
+	out, err := NewProgram().RunExperiment("e1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "654.8") {
+		t.Fatalf("E1 output missing total:\n%s", out)
+	}
+}
+
+func TestE1ContainsPaperNumbers(t *testing.T) {
+	out, err := NewProgram().RunExperiment("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DARPA", "232.2", "802.9", "Growth"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE2MatrixShape(t *testing.T) {
+	out, err := NewProgram().RunExperiment("E2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"HPCS", "ASTA", "NREN", "BRHR", "EPA"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E2 missing %q", want)
+		}
+	}
+}
+
+func TestE3PeakNumbers(t *testing.T) {
+	out, err := NewProgram().RunExperiment("E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"528", "32.0 GFLOPS", "16 x 33"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE4QuickRuns(t *testing.T) {
+	p := NewProgram()
+	p.Quick = true
+	out, err := p.RunExperiment("E4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"GFLOPS", "2048", "Paper's measured rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E4 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE5NetworkExhibit(t *testing.T) {
+	out, err := NewProgram().RunExperiment("E5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CASA HIPPI/SONET", "NSFnet T3", "Caltech", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("E5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE6E7QuickScaling(t *testing.T) {
+	p := NewProgram()
+	p.Quick = true
+	for _, id := range []string{"E6", "E7"} {
+		out, err := p.RunExperiment(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "Speedup") || !strings.Contains(out, "16") {
+			t.Fatalf("%s output wrong:\n%s", id, out)
+		}
+	}
+}
+
+func TestWriteReportQuick(t *testing.T) {
+	p := NewProgram()
+	p.Quick = true
+	var buf bytes.Buffer
+	if err := p.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, e := range p.Experiments() {
+		if !strings.Contains(out, "=== "+e.ID+":") {
+			t.Fatalf("report missing %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Package funding encodes the paper's federal HPCC budget table (FY 1992-93
+// funding by agency, in millions of dollars) as first-class data with the
+// derived analytics — totals, growth rates, agency shares — and regenerates
+// the printed table exactly.
+package funding
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Agency names exactly as the paper's table prints them.
+const (
+	DARPA = "DARPA"
+	NSF   = "NSF"
+	DOE   = "DOE"
+	NASA  = "NASA"
+	NIH   = "HHS/NIH"
+	NOAA  = "DOC/NOAA"
+	EPA   = "EPA"
+	NIST  = "DOC/NIST"
+)
+
+// Line is one row of the funding table: an agency's FY92 and FY93 budgets
+// in millions of dollars.
+type Line struct {
+	Agency     string
+	FY92, FY93 float64
+}
+
+// Growth returns the FY92->FY93 relative growth.
+func (l Line) Growth() float64 {
+	if l.FY92 == 0 {
+		return 0
+	}
+	return (l.FY93 - l.FY92) / l.FY92
+}
+
+// FY9293 returns the paper's table ("Federal HPCC Program Funding FY 92-93,
+// Dollars in millions") in the paper's row order (descending FY92 budget).
+func FY9293() []Line {
+	return []Line{
+		{DARPA, 232.2, 275.0},
+		{NSF, 200.9, 261.9},
+		{DOE, 92.3, 109.1},
+		{NASA, 71.2, 89.1},
+		{NIH, 41.3, 44.9},
+		{NOAA, 9.8, 10.8},
+		{EPA, 5.0, 8.0},
+		{NIST, 2.1, 4.1},
+	}
+}
+
+// PaperTotals returns the totals the paper prints (654.8, 802.9), used by
+// tests to verify the encoded lines are internally consistent.
+func PaperTotals() (fy92, fy93 float64) { return 654.8, 802.9 }
+
+// Total sums a fiscal year across lines. year must be 1992 or 1993.
+func Total(lines []Line, year int) float64 {
+	var s float64
+	for _, l := range lines {
+		switch year {
+		case 1992:
+			s += l.FY92
+		case 1993:
+			s += l.FY93
+		default:
+			panic(fmt.Sprintf("funding: unknown fiscal year %d", year))
+		}
+	}
+	return s
+}
+
+// Share returns an agency's fraction of the year's total, or 0 if absent.
+func Share(lines []Line, agency string, year int) float64 {
+	total := Total(lines, year)
+	if total == 0 {
+		return 0
+	}
+	for _, l := range lines {
+		if l.Agency == agency {
+			if year == 1992 {
+				return l.FY92 / total
+			}
+			return l.FY93 / total
+		}
+	}
+	return 0
+}
+
+// Table regenerates the paper's funding table, including the totals row.
+func Table() *report.Table {
+	t := report.NewTable("FEDERAL HPCC PROGRAM FUNDING FY 92-93 (Dollars in millions)",
+		"AGENCY", "FY 1992", "FY 1993")
+	lines := FY9293()
+	for _, l := range lines {
+		t.AddRow(l.Agency, report.Cellf("%.1f", l.FY92), report.Cellf("%.1f", l.FY93))
+	}
+	t.AddRow("Total", report.Cellf("%.1f", Total(lines, 1992)), report.Cellf("%.1f", Total(lines, 1993)))
+	return t
+}
+
+// GrowthTable is the derived analysis: per-agency growth and share of the
+// FY93 total, sorted in table order.
+func GrowthTable() *report.Table {
+	t := report.NewTable("HPCC funding growth FY92 -> FY93",
+		"AGENCY", "Growth %", "FY93 share %")
+	lines := FY9293()
+	for _, l := range lines {
+		t.AddRow(l.Agency,
+			report.Cellf("%.1f", l.Growth()*100),
+			report.Cellf("%.1f", Share(lines, l.Agency, 1993)*100))
+	}
+	total92, total93 := Total(lines, 1992), Total(lines, 1993)
+	t.AddRow("Total", report.Cellf("%.1f", (total93-total92)/total92*100), "100.0")
+	return t
+}

@@ -1,0 +1,114 @@
+package funding
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLinesSumToPaperTotals(t *testing.T) {
+	// The paper prints per-agency budgets AND totals; our encoding must be
+	// internally consistent with both.
+	lines := FY9293()
+	want92, want93 := PaperTotals()
+	if got := Total(lines, 1992); math.Abs(got-want92) > 0.05 {
+		t.Fatalf("FY92 total = %.1f, paper prints %.1f", got, want92)
+	}
+	if got := Total(lines, 1993); math.Abs(got-want93) > 0.05 {
+		t.Fatalf("FY93 total = %.1f, paper prints %.1f", got, want93)
+	}
+}
+
+func TestEightAgenciesInPaperOrder(t *testing.T) {
+	lines := FY9293()
+	if len(lines) != 8 {
+		t.Fatalf("%d agencies, want 8", len(lines))
+	}
+	wantOrder := []string{DARPA, NSF, DOE, NASA, NIH, NOAA, EPA, NIST}
+	for i, l := range lines {
+		if l.Agency != wantOrder[i] {
+			t.Fatalf("row %d = %s, want %s", i, l.Agency, wantOrder[i])
+		}
+	}
+	// paper rows are sorted by descending FY92 budget
+	for i := 1; i < len(lines); i++ {
+		if lines[i].FY92 > lines[i-1].FY92 {
+			t.Fatalf("rows not descending at %d", i)
+		}
+	}
+}
+
+func TestEveryAgencyGrows(t *testing.T) {
+	// FY93 requested more for every agency; growth must be positive.
+	for _, l := range FY9293() {
+		if l.Growth() <= 0 {
+			t.Errorf("%s growth = %g", l.Agency, l.Growth())
+		}
+	}
+}
+
+func TestSpecificValues(t *testing.T) {
+	lines := FY9293()
+	if lines[0].FY92 != 232.2 || lines[0].FY93 != 275.0 {
+		t.Fatalf("DARPA row wrong: %+v", lines[0])
+	}
+	if lines[7].FY92 != 2.1 || lines[7].FY93 != 4.1 {
+		t.Fatalf("NIST row wrong: %+v", lines[7])
+	}
+	// NIST nearly doubles: growth ~95%
+	if g := lines[7].Growth(); g < 0.9 || g > 1.0 {
+		t.Fatalf("NIST growth = %g, want ~0.95", g)
+	}
+}
+
+func TestShare(t *testing.T) {
+	lines := FY9293()
+	s := Share(lines, DARPA, 1992)
+	if math.Abs(s-232.2/654.8) > 1e-9 {
+		t.Fatalf("DARPA FY92 share = %g", s)
+	}
+	if Share(lines, "nonexistent", 1992) != 0 {
+		t.Fatal("missing agency share should be 0")
+	}
+	// DARPA+NSF dominate: over 60% both years
+	for _, yr := range []int{1992, 1993} {
+		if Share(lines, DARPA, yr)+Share(lines, NSF, yr) < 0.6 {
+			t.Fatalf("DARPA+NSF share under 60%% in %d", yr)
+		}
+	}
+}
+
+func TestTotalPanicsOnBadYear(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad year should panic")
+		}
+	}()
+	Total(FY9293(), 1990)
+}
+
+func TestTableMatchesPaperText(t *testing.T) {
+	out := Table().Render()
+	for _, want := range []string{
+		"FEDERAL HPCC PROGRAM FUNDING FY 92-93",
+		"DARPA", "232.2", "275.0",
+		"NSF", "200.9", "261.9",
+		"DOC/NIST", "2.1", "4.1",
+		"Total", "654.8", "802.9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGrowthTable(t *testing.T) {
+	out := GrowthTable().Render()
+	if !strings.Contains(out, "Total") {
+		t.Fatalf("growth table missing total:\n%s", out)
+	}
+	// overall program growth is 22.6%
+	if !strings.Contains(out, "22.6") {
+		t.Fatalf("program growth should be 22.6%%:\n%s", out)
+	}
+}

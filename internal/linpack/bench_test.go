@@ -1,0 +1,57 @@
+package linpack
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkPhantomFactorization measures the host cost of simulating a
+// mid-size phantom LU on a 64-node grid.
+func BenchmarkPhantomFactorization(b *testing.B) {
+	cfg := Config{
+		N: 2048, NB: 16, GridRows: 8, GridCols: 8,
+		Model: machine.SubMesh(machine.Delta(), 8, 8), Phantom: true, Seed: 1,
+	}
+	var gflops float64
+	for i := 0; i < b.N; i++ {
+		out, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gflops = out.GFlops
+	}
+	b.ReportMetric(gflops, "simulated-GFLOPS")
+}
+
+// BenchmarkRealFactorization measures a real-numerics distributed solve
+// with verification at N=256.
+func BenchmarkRealFactorization(b *testing.B) {
+	cfg := Config{
+		N: 256, NB: 16, GridRows: 2, GridCols: 2,
+		Model: machine.SubMesh(machine.Delta(), 2, 2), Seed: 1,
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Residual > 10 {
+			b.Fatalf("residual %g", out.Residual)
+		}
+	}
+}
+
+// BenchmarkAnalyticModel measures the closed-form predictor (it walks the
+// panel steps, so it is O(N/NB)).
+func BenchmarkAnalyticModel(b *testing.B) {
+	cfg := Config{
+		N: 25000, NB: 16, GridRows: 16, GridCols: 33,
+		Model: machine.Delta(), Phantom: true,
+	}
+	var p float64
+	for i := 0; i < b.N; i++ {
+		p = Predict(cfg)
+	}
+	b.ReportMetric(p, "predicted-s")
+}

@@ -1,0 +1,21 @@
+package linpack
+
+import "repro/internal/machine"
+
+// GenerationSweep runs the same LINPACK problem (phantom mode) on each
+// generation of the DARPA massively parallel series the paper situates the
+// Delta in — iPSC/860, Touchstone Delta, Paragon XP/S — each machine at
+// full size with its most natural process grid. It quantifies the paper's
+// framing of the Delta as one step in a rapidly improving line.
+func GenerationSweep(n, nb int, seed int64) ([]Point, error) {
+	models := []machine.Model{machine.IPSC860(), machine.Delta(), machine.Paragon()}
+	cfgs := make([]Config, 0, len(models))
+	for _, m := range models {
+		cfgs = append(cfgs, Config{
+			N: n, NB: nb,
+			GridRows: m.Rows, GridCols: m.Cols,
+			Model: m, Phantom: true, Seed: seed,
+		})
+	}
+	return Sweep(cfgs)
+}

@@ -1,0 +1,34 @@
+package linpack
+
+import "testing"
+
+func TestGenerationSweepMonotone(t *testing.T) {
+	// The paper frames the Delta as one of a series of DARPA machines;
+	// each generation must beat its predecessor on the same problem.
+	if testing.Short() {
+		t.Skip("generation sweep skipped in -short mode")
+	}
+	pts, err := GenerationSweep(8192, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("%d generations, want 3", len(pts))
+	}
+	names := []string{"Intel iPSC/860", "Intel Touchstone Delta", "Intel Paragon XP/S"}
+	for i, p := range pts {
+		if p.Config.Model.Name != names[i] {
+			t.Fatalf("generation %d is %q, want %q", i, p.Config.Model.Name, names[i])
+		}
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Outcome.GFlops <= pts[i-1].Outcome.GFlops {
+			t.Fatalf("%s (%.2f GFLOPS) should beat %s (%.2f GFLOPS)",
+				names[i], pts[i].Outcome.GFlops, names[i-1], pts[i-1].Outcome.GFlops)
+		}
+	}
+	// the Delta should multiply the iPSC/860's rate severalfold
+	if ratio := pts[1].Outcome.GFlops / pts[0].Outcome.GFlops; ratio < 2 {
+		t.Fatalf("Delta/iPSC ratio %.2f, want > 2", ratio)
+	}
+}

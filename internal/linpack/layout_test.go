@@ -1,0 +1,112 @@
+package linpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNumLocalSumsToN(t *testing.T) {
+	for _, c := range []struct{ n, nb, p int }{
+		{100, 8, 4}, {25000, 16, 16}, {25000, 16, 33}, {7, 3, 2}, {5, 10, 3}, {0, 4, 2},
+	} {
+		sum := 0
+		for me := 0; me < c.p; me++ {
+			sum += NumLocal(c.n, c.nb, c.p, me)
+		}
+		if sum != c.n {
+			t.Errorf("n=%d nb=%d p=%d: locals sum to %d", c.n, c.nb, c.p, sum)
+		}
+	}
+}
+
+func TestRoundTripGlobalLocal(t *testing.T) {
+	n, nb, p := 100, 7, 4
+	for g := 0; g < n; g++ {
+		me := Owner(g, nb, p)
+		l := GlobalToLocal(g, nb, p)
+		if back := LocalToGlobal(l, nb, p, me); back != g {
+			t.Fatalf("g=%d: owner=%d local=%d back=%d", g, me, l, back)
+		}
+		if l >= NumLocal(n, nb, p, me) {
+			t.Fatalf("g=%d: local index %d >= local count %d", g, l, NumLocal(n, nb, p, me))
+		}
+	}
+}
+
+func TestOwnershipCyclesByBlock(t *testing.T) {
+	nb, p := 4, 3
+	// global blocks: [0..3]->0, [4..7]->1, [8..11]->2, [12..15]->0, ...
+	if Owner(0, nb, p) != 0 || Owner(3, nb, p) != 0 {
+		t.Fatal("block 0 should belong to proc 0")
+	}
+	if Owner(4, nb, p) != 1 || Owner(11, nb, p) != 2 || Owner(12, nb, p) != 0 {
+		t.Fatal("block cycling wrong")
+	}
+}
+
+func TestFirstLocalAtLeast(t *testing.T) {
+	n, nb, p := 64, 4, 3
+	for me := 0; me < p; me++ {
+		mloc := NumLocal(n, nb, p, me)
+		for g0 := 0; g0 <= n; g0++ {
+			got := FirstLocalAtLeast(g0, nb, p, me)
+			// brute force: smallest local l with LocalToGlobal >= g0
+			want := mloc
+			for l := 0; l < mloc; l++ {
+				if LocalToGlobal(l, nb, p, me) >= g0 {
+					want = l
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("me=%d g0=%d: FirstLocalAtLeast=%d want %d", me, g0, got, want)
+			}
+		}
+	}
+}
+
+func TestLayoutPropertiesRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		nb := 1 + rng.Intn(16)
+		p := 1 + rng.Intn(8)
+		// every global index owned exactly once and locals are dense
+		counts := make([]int, p)
+		for g := 0; g < n; g++ {
+			me := Owner(g, nb, p)
+			l := GlobalToLocal(g, nb, p)
+			if LocalToGlobal(l, nb, p, me) != g {
+				return false
+			}
+			counts[me]++
+		}
+		for me := 0; me < p; me++ {
+			if counts[me] != NumLocal(n, nb, p, me) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalIndicesAreContiguousPerProc(t *testing.T) {
+	// locals must enumerate 0,1,2,... in increasing global order
+	n, nb, p := 97, 5, 4
+	for me := 0; me < p; me++ {
+		next := 0
+		for g := 0; g < n; g++ {
+			if Owner(g, nb, p) != me {
+				continue
+			}
+			if l := GlobalToLocal(g, nb, p); l != next {
+				t.Fatalf("me=%d g=%d: local %d, want %d", me, g, l, next)
+			}
+			next++
+		}
+	}
+}

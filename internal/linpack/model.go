@@ -1,0 +1,95 @@
+package linpack
+
+import "math"
+
+// Predict returns the analytically modelled factorization time (virtual
+// seconds) for cfg, without running the simulator. It walks the same panel
+// steps as the distributed algorithm and charges closed-form costs for each
+// phase, serializing phases exactly as the right-looking implementation
+// does. It exists as an independent cross-check on the simulator: the two
+// must agree in trend and within a modest relative band (see tests), which
+// guards against accounting bugs in either.
+func Predict(cfg Config) float64 {
+	n, nb := cfg.N, cfg.NB
+	pr := float64(cfg.GridRows)
+	pc := float64(cfg.GridCols)
+	m := cfg.Model
+
+	// effective one-way message time for b bytes at the average mesh
+	// distance (one third of the mesh diameter is a standard approximation
+	// for uniformly placed partners)
+	avgHops := float64(m.Rows+m.Cols) / 3
+	msg := func(bytes float64) float64 {
+		return m.Net.SendOverhead + m.Net.Latency + avgHops*m.Net.PerHop +
+			bytes*m.Net.ByteTime + m.Net.RecvOverhead
+	}
+	l2 := func(p float64) float64 {
+		if p <= 1 {
+			return 0
+		}
+		return math.Ceil(math.Log2(p))
+	}
+	rGemm := m.Compute.GemmMFlops * 1e6
+	rPanel := m.Compute.PanelMFlops * 1e6
+	rVec := m.Compute.VectorMFlops * 1e6
+
+	total := 0.0
+	nsteps := (n + nb - 1) / nb
+	for k := 0; k < nsteps; k++ {
+		j0 := k * nb
+		kb := nb
+		if j0+kb > n {
+			kb = n - j0
+		}
+		mAll := float64(n - j0)    // trailing rows including the panel
+		mT := float64(n - j0 - kb) // trailing rows/cols after the panel
+		if mT < 0 {
+			mT = 0
+		}
+
+		// --- panel factorization (on one process column) ---
+		panel := 0.0
+		for jj := 0; jj < kb; jj++ {
+			rows := (mAll - float64(jj)) / pr
+			rem := float64(kb - jj - 1)
+			panel += rows / rVec                    // local max search
+			panel += 2 * l2(pr) * msg(16)           // maxloc allreduce
+			panel += msg(8 * float64(kb))           // pivot row swap
+			panel += l2(pr) * msg(8*float64(kb-jj)) // pivot row broadcast
+			panel += rows / rVec                    // scale
+			panel += 2 * rows * rem / rPanel        // rank-1 update
+		}
+
+		// --- panel broadcast along rows ---
+		panelBytes := 8 * (float64(kb) + mAll/pr*float64(kb))
+		bcastPanel := l2(pc) * msg(panelBytes)
+
+		// --- trailing row swaps (kb pairwise exchanges per column) ---
+		width := (float64(n) - float64(kb)) / pc
+		swaps := float64(kb) * msg(8*width)
+
+		// --- triangular solve of the U12 block row ---
+		trsm := float64(kb) * float64(kb) * (mT / pc) / rGemm
+
+		// --- U12 broadcast down columns ---
+		bcastU := l2(pr) * msg(8*float64(kb)*mT/pc)
+
+		// --- trailing matrix update ---
+		gemm := 2 * (mT / pr) * (mT / pc) * float64(kb) / rGemm
+
+		total += panel + bcastPanel + swaps + trsm + bcastU + gemm
+	}
+	// solve phase
+	total += 2 * float64(n) * float64(n) / (pr * pc * rVec)
+	return total
+}
+
+// PredictGFlops returns the modelled benchmark rate for cfg.
+func PredictGFlops(cfg Config) float64 {
+	t := Predict(cfg)
+	if t <= 0 {
+		return 0
+	}
+	fn := float64(cfg.N)
+	return (2*fn*fn*fn/3 + 2*fn*fn) / t / 1e9
+}

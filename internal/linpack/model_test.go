@@ -1,0 +1,84 @@
+package linpack
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestPredictPositiveAndMonotoneInN(t *testing.T) {
+	base := Config{NB: 16, GridRows: 2, GridCols: 4, Model: testModel(2, 4)}
+	prev := 0.0
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		cfg := base
+		cfg.N = n
+		got := Predict(cfg)
+		if got <= prev {
+			t.Fatalf("Predict not increasing in N: N=%d gives %g (prev %g)", n, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPredictAgreesWithSimulator(t *testing.T) {
+	// Independent cross-check: the closed-form model and the event-level
+	// simulator must agree within a modest band across configurations.
+	cfgs := []Config{
+		{N: 256, NB: 16, GridRows: 2, GridCols: 2, Model: testModel(2, 2)},
+		{N: 512, NB: 16, GridRows: 2, GridCols: 4, Model: testModel(2, 4)},
+		{N: 512, NB: 32, GridRows: 4, GridCols: 4, Model: testModel(4, 4)},
+		{N: 1024, NB: 16, GridRows: 4, GridCols: 4, Model: testModel(4, 4)},
+	}
+	for _, cfg := range cfgs {
+		cfg.Phantom = true
+		out, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := Predict(cfg)
+		rel := stats.RelErr(out.FactTime, pred)
+		if rel > 0.35 {
+			t.Errorf("N=%d NB=%d %dx%d: sim %.3fs vs model %.3fs (rel err %.2f)",
+				cfg.N, cfg.NB, cfg.GridRows, cfg.GridCols, out.FactTime, pred, rel)
+		}
+	}
+}
+
+func TestPredictGFlopsConsistent(t *testing.T) {
+	cfg := Config{N: 512, NB: 16, GridRows: 2, GridCols: 2, Model: testModel(2, 2)}
+	tm := Predict(cfg)
+	gf := PredictGFlops(cfg)
+	if tm <= 0 || gf <= 0 {
+		t.Fatalf("model produced non-positive values: t=%g gf=%g", tm, gf)
+	}
+}
+
+func TestSweepProducesPointsAndTable(t *testing.T) {
+	cfgs := []Config{
+		{N: 64, NB: 8, GridRows: 1, GridCols: 2, Model: testModel(1, 2)},
+		{N: 128, NB: 8, GridRows: 1, GridCols: 2, Model: testModel(1, 2)},
+	}
+	pts, err := Sweep(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[1].Outcome.FactTime <= pts[0].Outcome.FactTime {
+		t.Fatal("larger N should take longer")
+	}
+	tbl := Table("LINPACK sweep", pts)
+	out := tbl.Render()
+	if !strings.Contains(out, "GFLOPS") || !strings.Contains(out, "128") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	_, err := Sweep([]Config{{N: -1, NB: 8, GridRows: 1, GridCols: 1, Model: testModel(1, 1)}})
+	if err == nil {
+		t.Fatal("sweep should propagate config errors")
+	}
+}

@@ -1,0 +1,50 @@
+package linpack
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// Point is one row of a parameter sweep: the simulated outcome plus the
+// analytic prediction for the same configuration.
+type Point struct {
+	Config    Config
+	Outcome   *Outcome
+	Predicted float64 // analytic model time, seconds
+}
+
+// Sweep runs the simulator (phantom mode) for every configuration and pairs
+// each outcome with the analytic prediction.
+func Sweep(cfgs []Config) ([]Point, error) {
+	out := make([]Point, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		cfg.Phantom = true
+		o, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("linpack sweep N=%d NB=%d grid %dx%d: %w",
+				cfg.N, cfg.NB, cfg.GridRows, cfg.GridCols, err)
+		}
+		out = append(out, Point{Config: cfg, Outcome: o, Predicted: Predict(cfg)})
+	}
+	return out, nil
+}
+
+// Table renders sweep points in the layout of a LINPACK report: one row per
+// configuration with simulated and modelled rates.
+func Table(title string, points []Point) *report.Table {
+	t := report.NewTable(title,
+		"N", "NB", "Grid", "Time(s)", "GFLOPS", "Eff", "Model GFLOPS")
+	for _, p := range points {
+		t.AddRow(
+			report.Cellf("%d", p.Config.N),
+			report.Cellf("%d", p.Config.NB),
+			report.Cellf("%dx%d", p.Config.GridRows, p.Config.GridCols),
+			report.Cellf("%.1f", p.Outcome.FactTime),
+			report.Cellf("%.2f", p.Outcome.GFlops),
+			report.Cellf("%.3f", p.Outcome.Efficiency),
+			report.Cellf("%.2f", PredictGFlops(p.Config)),
+		)
+	}
+	return t
+}

@@ -1,0 +1,205 @@
+// Package machine defines parametric performance models of the
+// distributed-memory machines the paper describes, chiefly the Intel
+// Touchstone Delta: per-node compute rates for different operation classes
+// and a LogGP-style network cost model over a 2D mesh.
+//
+// The models produce *time* for *work*: the nx runtime asks a Model how long
+// a compute region or a message should take in virtual seconds. Rates are
+// calibrated from published i860/Delta characteristics (see Delta below);
+// the reproduction claim is about shapes and ratios, not absolute cycles.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op classifies a compute region so the model can charge an appropriate rate.
+// 1992-era distributed LU spends most time in matrix-matrix multiply (OpGemm,
+// near-peak on a tuned i860), while panel factorization and triangular solves
+// run at memory-bound rates.
+type Op int
+
+// Operation classes.
+const (
+	// OpGemm is blocked matrix-matrix multiply: the high-rate kernel.
+	OpGemm Op = iota
+	// OpPanel is unblocked panel factorization: memory/latency bound.
+	OpPanel
+	// OpVector is streaming vector work (axpy/dot/scal) at memory bandwidth.
+	OpVector
+	// OpScalar is untuned scalar code.
+	OpScalar
+	numOps
+)
+
+// String names the operation class.
+func (o Op) String() string {
+	switch o {
+	case OpGemm:
+		return "gemm"
+	case OpPanel:
+		return "panel"
+	case OpVector:
+		return "vector"
+	case OpScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Compute holds per-node achievable rates in MFLOPS for each operation class
+// plus the nominal hardware peak.
+type Compute struct {
+	PeakMFlops   float64 // marketing peak per node
+	GemmMFlops   float64 // achieved blocked DGEMM
+	PanelMFlops  float64 // achieved unblocked factorization
+	VectorMFlops float64 // achieved streaming vector ops
+	ScalarMFlops float64 // achieved scalar code
+}
+
+// Rate returns the achieved MFLOPS for an operation class.
+func (c Compute) Rate(op Op) float64 {
+	switch op {
+	case OpGemm:
+		return c.GemmMFlops
+	case OpPanel:
+		return c.PanelMFlops
+	case OpVector:
+		return c.VectorMFlops
+	case OpScalar:
+		return c.ScalarMFlops
+	default:
+		return c.ScalarMFlops
+	}
+}
+
+// Network holds LogGP-style point-to-point parameters. A message of n bytes
+// travelling h hops costs:
+//
+//	sender:   SendOverhead + float64(n)*ByteTime (port serialization, LogGP's G)
+//	in net:   Latency + float64(h)*PerHop
+//	receiver: RecvOverhead (charged on the receiving clock)
+//
+// The one-way total is identical to MessageTime(n, h) plus the endpoint
+// overheads; the split matters only for back-to-back sends, which cannot
+// overlap their serialization on one port.
+type Network struct {
+	Latency      float64 // end-point to end-point base latency, seconds
+	PerHop       float64 // additional delay per mesh hop, seconds
+	ByteTime     float64 // serialization time per byte, seconds (1/bandwidth)
+	SendOverhead float64 // CPU time consumed on the sender, seconds
+	RecvOverhead float64 // CPU time consumed on the receiver, seconds
+}
+
+// BandwidthMBs returns the asymptotic link bandwidth in MB/s.
+func (n Network) BandwidthMBs() float64 {
+	if n.ByteTime <= 0 {
+		return 0
+	}
+	return 1 / n.ByteTime / 1e6
+}
+
+// Model is a complete machine description: a Rows x Cols 2D mesh of nodes,
+// each with the same Compute rates, connected by links characterized by Net.
+type Model struct {
+	Name    string
+	Rows    int // mesh rows
+	Cols    int // mesh columns
+	Compute Compute
+	Net     Network
+}
+
+// Validate reports whether the model is internally consistent.
+func (m Model) Validate() error {
+	if m.Rows < 1 || m.Cols < 1 {
+		return fmt.Errorf("machine: mesh %dx%d must be at least 1x1", m.Rows, m.Cols)
+	}
+	if m.Compute.PeakMFlops <= 0 {
+		return errors.New("machine: PeakMFlops must be positive")
+	}
+	for op := Op(0); op < numOps; op++ {
+		r := m.Compute.Rate(op)
+		if r <= 0 {
+			return fmt.Errorf("machine: rate for %v must be positive", op)
+		}
+		if r > m.Compute.PeakMFlops {
+			return fmt.Errorf("machine: rate for %v (%g) exceeds peak (%g)", op, r, m.Compute.PeakMFlops)
+		}
+	}
+	if m.Net.ByteTime <= 0 || m.Net.Latency < 0 || m.Net.PerHop < 0 ||
+		m.Net.SendOverhead < 0 || m.Net.RecvOverhead < 0 {
+		return errors.New("machine: network parameters must be non-negative with positive ByteTime")
+	}
+	return nil
+}
+
+// Nodes returns the number of nodes in the mesh.
+func (m Model) Nodes() int { return m.Rows * m.Cols }
+
+// PeakGFlops returns the aggregate hardware peak in GFLOPS — the "32 GFLOPS
+// using the 528 numeric processors" figure for the Delta model.
+func (m Model) PeakGFlops() float64 {
+	return float64(m.Nodes()) * m.Compute.PeakMFlops / 1000
+}
+
+// Coord returns the (row, col) mesh coordinates of a node rank in row-major
+// order. It panics on an out-of-range rank.
+func (m Model) Coord(rank int) (row, col int) {
+	if rank < 0 || rank >= m.Nodes() {
+		panic(fmt.Sprintf("machine: rank %d out of range [0,%d)", rank, m.Nodes()))
+	}
+	return rank / m.Cols, rank % m.Cols
+}
+
+// RankOf is the inverse of Coord.
+func (m Model) RankOf(row, col int) int {
+	if row < 0 || row >= m.Rows || col < 0 || col >= m.Cols {
+		panic(fmt.Sprintf("machine: coord (%d,%d) out of range %dx%d", row, col, m.Rows, m.Cols))
+	}
+	return row*m.Cols + col
+}
+
+// Hops returns the Manhattan distance between two ranks on the mesh — the
+// path length of dimension-order (XY) routing.
+func (m Model) Hops(a, b int) int {
+	ar, ac := m.Coord(a)
+	br, bc := m.Coord(b)
+	return abs(ar-br) + abs(ac-bc)
+}
+
+// ComputeTime returns the virtual duration of a compute region of the given
+// floating-point operation count and class.
+func (m Model) ComputeTime(op Op, flops float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	return flops / (m.Compute.Rate(op) * 1e6)
+}
+
+// MessageTime returns the in-network time for n bytes over h hops, excluding
+// the endpoint overheads (those are charged to the respective clocks by the
+// runtime).
+func (m Model) MessageTime(n, hops int) float64 {
+	if n < 0 {
+		n = 0
+	}
+	if hops < 0 {
+		hops = 0
+	}
+	return m.Net.Latency + float64(hops)*m.Net.PerHop + float64(n)*m.Net.ByteTime
+}
+
+// PointToPointTime returns the full one-way time for n bytes between two
+// ranks including both endpoint overheads; it is the Hockney-style t(n) a
+// ping-pong benchmark on this model would measure (half round trip).
+func (m Model) PointToPointTime(a, b, n int) float64 {
+	return m.Net.SendOverhead + m.MessageTime(n, m.Hops(a, b)) + m.Net.RecvOverhead
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,247 @@
+package machine
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaMatchesPaperHeadline(t *testing.T) {
+	d := Delta()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Nodes(); got != 528 {
+		t.Fatalf("Delta nodes = %d, want 528 (paper: '528 numeric processors')", got)
+	}
+	peak := d.PeakGFlops()
+	if math.Abs(peak-32) > 0.1 {
+		t.Fatalf("Delta peak = %.2f GFLOPS, want ~32 (paper: 'peak speed of 32 GFLOPS')", peak)
+	}
+}
+
+func TestCatalogModelsValidate(t *testing.T) {
+	for _, m := range []Model{Delta(), IPSC860(), Paragon()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	good := Delta()
+
+	bad := good
+	bad.Rows = 0
+	if bad.Validate() == nil {
+		t.Error("zero rows should fail validation")
+	}
+
+	bad = good
+	bad.Compute.PeakMFlops = 0
+	if bad.Validate() == nil {
+		t.Error("zero peak should fail validation")
+	}
+
+	bad = good
+	bad.Compute.GemmMFlops = good.Compute.PeakMFlops * 2
+	if bad.Validate() == nil {
+		t.Error("rate above peak should fail validation")
+	}
+
+	bad = good
+	bad.Net.ByteTime = 0
+	if bad.Validate() == nil {
+		t.Error("zero ByteTime should fail validation")
+	}
+
+	bad = good
+	bad.Net.Latency = -1
+	if bad.Validate() == nil {
+		t.Error("negative latency should fail validation")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	names := map[Op]string{OpGemm: "gemm", OpPanel: "panel", OpVector: "vector", OpScalar: "scalar"}
+	for op, want := range names {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := Op(99).String(); got != "Op(99)" {
+		t.Errorf("unknown op prints %q", got)
+	}
+}
+
+func TestComputeRateFallback(t *testing.T) {
+	c := Delta().Compute
+	if c.Rate(Op(99)) != c.ScalarMFlops {
+		t.Error("unknown op should fall back to scalar rate")
+	}
+}
+
+func TestCoordRankRoundTrip(t *testing.T) {
+	d := Delta()
+	for rank := 0; rank < d.Nodes(); rank++ {
+		r, c := d.Coord(rank)
+		if back := d.RankOf(r, c); back != rank {
+			t.Fatalf("RankOf(Coord(%d)) = %d", rank, back)
+		}
+	}
+}
+
+func TestCoordPanicsOutOfRange(t *testing.T) {
+	d := Delta()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Coord out of range should panic")
+		}
+	}()
+	d.Coord(d.Nodes())
+}
+
+func TestRankOfPanicsOutOfRange(t *testing.T) {
+	d := Delta()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RankOf out of range should panic")
+		}
+	}()
+	d.RankOf(d.Rows, 0)
+}
+
+func TestHopsProperties(t *testing.T) {
+	d := Delta()
+	// Known distances.
+	if h := d.Hops(0, 0); h != 0 {
+		t.Fatalf("Hops(0,0) = %d", h)
+	}
+	// corner to corner: (Rows-1)+(Cols-1)
+	far := d.RankOf(d.Rows-1, d.Cols-1)
+	if h := d.Hops(0, far); h != d.Rows-1+d.Cols-1 {
+		t.Fatalf("corner-to-corner hops = %d, want %d", h, d.Rows-1+d.Cols-1)
+	}
+	// Property: symmetric and triangle inequality on sampled triples.
+	f := func(a, b, c uint16) bool {
+		x := int(a) % d.Nodes()
+		y := int(b) % d.Nodes()
+		z := int(c) % d.Nodes()
+		if d.Hops(x, y) != d.Hops(y, x) {
+			return false
+		}
+		return d.Hops(x, z) <= d.Hops(x, y)+d.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	d := Delta()
+	// at the DGEMM rate, GemmMFlops*1e6 flops take exactly 1 second
+	if got := d.ComputeTime(OpGemm, d.Compute.GemmMFlops*1e6); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ComputeTime = %g, want 1", got)
+	}
+	if d.ComputeTime(OpGemm, 0) != 0 {
+		t.Fatal("zero flops should take zero time")
+	}
+	if d.ComputeTime(OpGemm, -5) != 0 {
+		t.Fatal("negative flops should take zero time")
+	}
+	// gemm must be faster than panel for the same flops
+	if d.ComputeTime(OpGemm, 1e6) >= d.ComputeTime(OpPanel, 1e6) {
+		t.Fatal("gemm rate should beat panel rate")
+	}
+}
+
+func TestMessageTimeMonotone(t *testing.T) {
+	d := Delta()
+	t0 := d.MessageTime(0, 0)
+	if t0 < d.Net.Latency {
+		t.Fatalf("zero-byte message time %g below latency %g", t0, d.Net.Latency)
+	}
+	if d.MessageTime(1000, 0) <= t0 {
+		t.Fatal("more bytes must take longer")
+	}
+	if d.MessageTime(0, 10) <= t0 {
+		t.Fatal("more hops must take longer")
+	}
+	if d.MessageTime(-5, -5) != t0 {
+		t.Fatal("negative inputs should clamp to zero")
+	}
+}
+
+func TestPointToPointIncludesOverheads(t *testing.T) {
+	d := Delta()
+	p2p := d.PointToPointTime(0, 1, 0)
+	want := d.Net.SendOverhead + d.MessageTime(0, 1) + d.Net.RecvOverhead
+	if math.Abs(p2p-want) > 1e-15 {
+		t.Fatalf("PointToPointTime = %g, want %g", p2p, want)
+	}
+}
+
+func TestBandwidthMBs(t *testing.T) {
+	d := Delta()
+	if got := d.Net.BandwidthMBs(); math.Abs(got-12) > 1e-9 {
+		t.Fatalf("Delta sustained bandwidth = %g MB/s, want 12", got)
+	}
+	var n Network
+	if n.BandwidthMBs() != 0 {
+		t.Fatal("zero ByteTime should report 0 bandwidth")
+	}
+}
+
+func TestCustomFactorization(t *testing.T) {
+	base := Delta()
+	cases := []struct{ p, rows, cols int }{
+		{1, 1, 1},
+		{4, 2, 2},
+		{6, 2, 3},
+		{16, 4, 4},
+		{528, 22, 24}, // most-square factorization of 528
+		{7, 1, 7},     // prime
+	}
+	for _, c := range cases {
+		m := Custom(base, c.p)
+		if m.Rows != c.rows || m.Cols != c.cols {
+			t.Errorf("Custom(%d) = %dx%d, want %dx%d", c.p, m.Rows, m.Cols, c.rows, c.cols)
+		}
+		if m.Nodes() != c.p {
+			t.Errorf("Custom(%d) has %d nodes", c.p, m.Nodes())
+		}
+	}
+}
+
+func TestCustomPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Custom(0) should panic")
+		}
+	}()
+	Custom(Delta(), 0)
+}
+
+func TestCustomPreservesRates(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := int(pRaw)%100 + 1
+		m := Custom(Delta(), p)
+		return m.Compute == Delta().Compute && m.Net == Delta().Net && m.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMesh(t *testing.T) {
+	m := SubMesh(Delta(), 4, 8)
+	if m.Nodes() != 32 {
+		t.Fatalf("SubMesh nodes = %d, want 32", m.Nodes())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized SubMesh should panic")
+		}
+	}()
+	SubMesh(Delta(), 100, 100)
+}

@@ -1,0 +1,28 @@
+package mesh
+
+import "testing"
+
+// BenchmarkPacketSimulation measures the host cost of simulating one packet
+// through the loaded 16x33 Delta mesh.
+func BenchmarkPacketSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n := New(16, 33, 12e6, 1e-6)
+		rngFree := 0 // deterministic round-robin destinations
+		for src := 0; src < n.Nodes(); src++ {
+			dst := (src + 1 + rngFree) % n.Nodes()
+			if dst == src {
+				dst = (dst + 1) % n.Nodes()
+			}
+			n.Inject(src, dst, 1024, 0)
+		}
+		n.Run()
+	}
+}
+
+// BenchmarkOfferLoadUniform measures a complete offered-load experiment on
+// an 8x8 mesh.
+func BenchmarkOfferLoadUniform(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		OfferLoad(8, 8, 12e6, 1e-6, Uniform, 20, 1024, 0.4*12e6, 7)
+	}
+}

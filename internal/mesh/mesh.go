@@ -1,0 +1,212 @@
+// Package mesh simulates the Touchstone Delta's 2D mesh interconnect at
+// packet granularity: dimension-order (XY) wormhole routing with per-link
+// occupancy, so that link contention — the phenomenon that set the Delta's
+// effective NX bandwidth well below the hardware channel rate — emerges
+// from the simulation rather than being assumed.
+//
+// The model is virtual cut-through: a packet's head advances one router per
+// RouterDelay, each traversed link is held for the packet's serialization
+// time, and a packet queues when its next link is busy.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Packet is one simulated message traversing the mesh.
+type Packet struct {
+	ID        int
+	Src, Dst  int
+	Bytes     int
+	InjectAt  float64
+	DeliverAt float64 // set when the tail arrives at Dst
+	Hops      int
+}
+
+// Latency returns the packet's total in-network time.
+func (p *Packet) Latency() float64 { return p.DeliverAt - p.InjectAt }
+
+// Network is a rows x cols mesh. Create with New, inject packets, then Run.
+type Network struct {
+	rows, cols  int
+	byteTime    float64 // seconds per byte on a link
+	routerDelay float64 // per-hop head latency
+	yFirst      bool    // YX dimension order instead of the default XY
+	kern        sim.Kernel
+	nextFree    map[int64]float64 // directed link -> earliest availability
+	packets     []*Packet
+	nextID      int
+}
+
+// UseYXRouting switches the network to YX dimension order (rows first,
+// then columns). The Delta routed XY; the alternative is the classical
+// ablation for dimension-order routing on asymmetric meshes. It must be
+// called before any Inject.
+func (n *Network) UseYXRouting() {
+	if len(n.packets) > 0 {
+		panic("mesh: UseYXRouting after Inject")
+	}
+	n.yFirst = true
+}
+
+// New creates a mesh with the given link bandwidth (bytes/s) and per-hop
+// router delay (seconds).
+func New(rows, cols int, linkBandwidthBps, routerDelay float64) *Network {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("mesh: invalid dims %dx%d", rows, cols))
+	}
+	if linkBandwidthBps <= 0 || routerDelay < 0 {
+		panic("mesh: bandwidth must be positive and router delay non-negative")
+	}
+	return &Network{
+		rows: rows, cols: cols,
+		byteTime:    1 / linkBandwidthBps,
+		routerDelay: routerDelay,
+		nextFree:    make(map[int64]float64),
+	}
+}
+
+// Nodes returns the node count.
+func (n *Network) Nodes() int { return n.rows * n.cols }
+
+// Coord converts a node id to (row, col).
+func (n *Network) Coord(id int) (r, c int) { return id / n.cols, id % n.cols }
+
+// NodeAt converts (row, col) to a node id.
+func (n *Network) NodeAt(r, c int) int { return r*n.cols + c }
+
+func (n *Network) linkKey(from, to int) int64 {
+	return int64(from)*int64(n.Nodes()) + int64(to)
+}
+
+// Route returns the dimension-order path from src to dst as the sequence
+// of nodes visited (inclusive of both endpoints): columns first then rows
+// (XY, the Delta's order), or rows first with UseYXRouting.
+func (n *Network) Route(src, dst int) []int {
+	sr, sc := n.Coord(src)
+	dr, dc := n.Coord(dst)
+	path := []int{src}
+	r, c := sr, sc
+	stepCols := func() {
+		for c != dc {
+			if c < dc {
+				c++
+			} else {
+				c--
+			}
+			path = append(path, n.NodeAt(r, c))
+		}
+	}
+	stepRows := func() {
+		for r != dr {
+			if r < dr {
+				r++
+			} else {
+				r--
+			}
+			path = append(path, n.NodeAt(r, c))
+		}
+	}
+	if n.yFirst {
+		stepRows()
+		stepCols()
+	} else {
+		stepCols()
+		stepRows()
+	}
+	return path
+}
+
+// Inject schedules a packet for injection at the given time. Run must be
+// called afterwards to simulate delivery. Self-sends are rejected.
+func (n *Network) Inject(src, dst, bytes int, at float64) *Packet {
+	if src < 0 || src >= n.Nodes() || dst < 0 || dst >= n.Nodes() {
+		panic(fmt.Sprintf("mesh: inject with invalid endpoint %d->%d", src, dst))
+	}
+	if src == dst {
+		panic("mesh: self-send has no network component")
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	p := &Packet{ID: n.nextID, Src: src, Dst: dst, Bytes: bytes, InjectAt: at, DeliverAt: math.NaN()}
+	n.nextID++
+	n.packets = append(n.packets, p)
+	path := n.Route(src, dst)
+	p.Hops = len(path) - 1
+	n.kern.At(at, func() { n.advance(p, path, 0) })
+	return p
+}
+
+// advance moves packet p from path[idx] toward path[idx+1].
+func (n *Network) advance(p *Packet, path []int, idx int) {
+	if idx == len(path)-1 {
+		// head has arrived at destination; tail lands after serialization
+		p.DeliverAt = n.kern.Now() + float64(p.Bytes)*n.byteTime
+		return
+	}
+	key := n.linkKey(path[idx], path[idx+1])
+	depart := n.kern.Now()
+	if free := n.nextFree[key]; free > depart {
+		depart = free
+	}
+	depart += n.routerDelay
+	n.nextFree[key] = depart + float64(p.Bytes)*n.byteTime
+	n.kern.At(depart, func() { n.advance(p, path, idx+1) })
+}
+
+// Run simulates until every injected packet is delivered.
+func (n *Network) Run() {
+	n.kern.Run()
+}
+
+// Stats summarizes delivered packets.
+type Stats struct {
+	Delivered     int
+	AvgLatency    float64
+	MaxLatency    float64
+	TotalBytes    int64
+	Makespan      float64 // last delivery time
+	ThroughputBps float64
+}
+
+// Stats computes summary statistics. It panics if Run has not completed.
+func (n *Network) Stats() Stats {
+	var s Stats
+	for _, p := range n.packets {
+		if math.IsNaN(p.DeliverAt) {
+			panic("mesh: Stats before Run completed")
+		}
+		s.Delivered++
+		l := p.Latency()
+		s.AvgLatency += l
+		if l > s.MaxLatency {
+			s.MaxLatency = l
+		}
+		s.TotalBytes += int64(p.Bytes)
+		if p.DeliverAt > s.Makespan {
+			s.Makespan = p.DeliverAt
+		}
+	}
+	if s.Delivered > 0 {
+		s.AvgLatency /= float64(s.Delivered)
+	}
+	if s.Makespan > 0 {
+		s.ThroughputBps = float64(s.TotalBytes) / s.Makespan
+	}
+	return s
+}
+
+// BisectionBandwidthBps returns the analytic bisection bandwidth of the
+// mesh: the aggregate one-way bandwidth of the links crossing a cut that
+// halves the machine across its longer dimension.
+func (n *Network) BisectionBandwidthBps() float64 {
+	cut := n.rows
+	if n.cols < n.rows {
+		cut = n.cols
+	}
+	return float64(cut) / n.byteTime
+}

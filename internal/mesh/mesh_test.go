@@ -1,0 +1,284 @@
+package mesh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	testBps   = 10e6 // 10 MB/s links
+	testDelay = 1e-6 // 1 us per hop
+)
+
+func TestSinglePacketLatency(t *testing.T) {
+	n := New(4, 4, testBps, testDelay)
+	// 0 -> 3: three hops along the row
+	p := n.Inject(0, 3, 1000, 0)
+	n.Run()
+	want := 3*testDelay + 1000/testBps
+	if math.Abs(p.Latency()-want) > 1e-12 {
+		t.Fatalf("latency = %g, want %g", p.Latency(), want)
+	}
+	if p.Hops != 3 {
+		t.Fatalf("hops = %d, want 3", p.Hops)
+	}
+}
+
+func TestRouteIsXYDimensionOrder(t *testing.T) {
+	n := New(4, 4, testBps, testDelay)
+	// from (0,0) to (2,3): move along columns first, then rows
+	path := n.Route(n.NodeAt(0, 0), n.NodeAt(2, 3))
+	want := []int{
+		n.NodeAt(0, 0), n.NodeAt(0, 1), n.NodeAt(0, 2), n.NodeAt(0, 3),
+		n.NodeAt(1, 3), n.NodeAt(2, 3),
+	}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestYXRoutingOrder(t *testing.T) {
+	n := New(4, 4, testBps, testDelay)
+	n.UseYXRouting()
+	// from (0,0) to (2,3): rows first under YX
+	path := n.Route(n.NodeAt(0, 0), n.NodeAt(2, 3))
+	want := []int{
+		n.NodeAt(0, 0), n.NodeAt(1, 0), n.NodeAt(2, 0),
+		n.NodeAt(2, 1), n.NodeAt(2, 2), n.NodeAt(2, 3),
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("YX path = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestYXRoutingSameHopCount(t *testing.T) {
+	xy := New(5, 7, testBps, testDelay)
+	yx := New(5, 7, testBps, testDelay)
+	yx.UseYXRouting()
+	for src := 0; src < xy.Nodes(); src++ {
+		for dst := 0; dst < xy.Nodes(); dst++ {
+			if src == dst {
+				continue
+			}
+			if len(xy.Route(src, dst)) != len(yx.Route(src, dst)) {
+				t.Fatalf("hop count differs for %d->%d", src, dst)
+			}
+		}
+	}
+}
+
+func TestUseYXAfterInjectPanics(t *testing.T) {
+	n := New(2, 2, testBps, testDelay)
+	n.Inject(0, 1, 100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UseYXRouting after Inject should panic")
+		}
+	}()
+	n.UseYXRouting()
+}
+
+func TestRoutePathLengthIsManhattan(t *testing.T) {
+	n := New(5, 7, testBps, testDelay)
+	f := func(a, b uint16) bool {
+		src := int(a) % n.Nodes()
+		dst := int(b) % n.Nodes()
+		if src == dst {
+			return true
+		}
+		sr, sc := n.Coord(src)
+		dr, dc := n.Coord(dst)
+		manhattan := abs(sr-dr) + abs(sc-dc)
+		return len(n.Route(src, dst))-1 == manhattan
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	n := New(1, 3, testBps, testDelay)
+	// both packets cross link 1->2
+	p1 := n.Inject(0, 2, 10000, 0)
+	p2 := n.Inject(1, 2, 10000, 0)
+	n.Run()
+	service := 10000 / testBps
+	// One of them must be delayed by roughly the other's serialization.
+	first, second := p1, p2
+	if p2.DeliverAt < p1.DeliverAt {
+		first, second = p2, p1
+	}
+	gap := second.DeliverAt - first.DeliverAt
+	if gap < service*0.9 {
+		t.Fatalf("no serialization on shared link: gap %g, service %g", gap, service)
+	}
+}
+
+func TestDisjointPathsDoNotInterfere(t *testing.T) {
+	n := New(2, 2, testBps, testDelay)
+	// row 0: 0->1; row 1: 2->3 — no shared links
+	p1 := n.Inject(0, 1, 10000, 0)
+	p2 := n.Inject(2, 3, 10000, 0)
+	n.Run()
+	want := testDelay + 10000/testBps
+	for _, p := range []*Packet{p1, p2} {
+		if math.Abs(p.Latency()-want) > 1e-12 {
+			t.Fatalf("disjoint packet delayed: %g vs %g", p.Latency(), want)
+		}
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	n := New(2, 2, testBps, testDelay)
+	for _, fn := range []func(){
+		func() { n.Inject(0, 0, 100, 0) },  // self-send
+		func() { n.Inject(-1, 1, 100, 0) }, // bad src
+		func() { n.Inject(0, 99, 100, 0) }, // bad dst
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4, testBps, testDelay) },
+		func() { New(4, 4, 0, testDelay) },
+		func() { New(4, 4, testBps, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStatsBeforeRunPanics(t *testing.T) {
+	n := New(2, 2, testBps, testDelay)
+	n.Inject(0, 1, 100, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Stats before Run should panic")
+		}
+	}()
+	n.Stats()
+}
+
+func TestStats(t *testing.T) {
+	n := New(1, 4, testBps, testDelay)
+	n.Inject(0, 1, 1000, 0)
+	n.Inject(2, 3, 2000, 0)
+	n.Run()
+	s := n.Stats()
+	if s.Delivered != 2 {
+		t.Fatalf("delivered = %d", s.Delivered)
+	}
+	if s.TotalBytes != 3000 {
+		t.Fatalf("bytes = %d", s.TotalBytes)
+	}
+	if s.AvgLatency <= 0 || s.MaxLatency < s.AvgLatency {
+		t.Fatalf("latency stats inconsistent: %+v", s)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() Stats {
+		res := OfferLoad(4, 4, testBps, testDelay, Uniform, 20, 1000, 0.3*testBps, 7)
+		return Stats{AvgLatency: res.AvgLatency, MaxLatency: res.MaxLatency}
+	}
+	a, b := run(), run()
+	if a.AvgLatency != b.AvgLatency || a.MaxLatency != b.MaxLatency {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestLatencyGrowsWithLoad(t *testing.T) {
+	// The canonical network characterization: average latency increases
+	// (sharply near saturation) as offered load rises.
+	lo := OfferLoad(4, 4, testBps, testDelay, Uniform, 50, 1000, 0.05*testBps, 3)
+	hi := OfferLoad(4, 4, testBps, testDelay, Uniform, 50, 1000, 0.9*testBps, 3)
+	if hi.AvgLatency <= lo.AvgLatency {
+		t.Fatalf("latency did not grow with load: low %g, high %g",
+			lo.AvgLatency, hi.AvgLatency)
+	}
+}
+
+func TestTransposeSuffersMoreThanNearestNeighbor(t *testing.T) {
+	// Transpose traffic crosses the bisection; nearest-neighbour does not.
+	// At equal moderate load, transpose must see higher latency.
+	tr := OfferLoad(8, 8, testBps, testDelay, Transpose, 30, 4000, 0.5*testBps, 5)
+	nn := OfferLoad(8, 8, testBps, testDelay, NearestNeighbor, 30, 4000, 0.5*testBps, 5)
+	if tr.AvgLatency <= nn.AvgLatency {
+		t.Fatalf("transpose (%g) should beat nearest-neighbour (%g) in latency",
+			tr.AvgLatency, nn.AvgLatency)
+	}
+}
+
+func TestHotspotCongestsTarget(t *testing.T) {
+	hs := OfferLoad(4, 4, testBps, testDelay, Hotspot, 40, 2000, 0.5*testBps, 9)
+	un := OfferLoad(4, 4, testBps, testDelay, Uniform, 40, 2000, 0.5*testBps, 9)
+	if hs.MaxLatency <= un.MaxLatency {
+		t.Fatalf("hotspot max latency %g should exceed uniform %g",
+			hs.MaxLatency, un.MaxLatency)
+	}
+}
+
+func TestBisectionBandwidth(t *testing.T) {
+	n := New(4, 8, testBps, testDelay)
+	if got := n.BisectionBandwidthBps(); math.Abs(got-4*testBps) > 1 {
+		t.Fatalf("bisection = %g, want %g", got, 4*testBps)
+	}
+	sq := New(16, 33, testBps, testDelay) // Delta shape
+	if got := sq.BisectionBandwidthBps(); math.Abs(got-16*testBps) > 1 {
+		t.Fatalf("Delta bisection = %g, want %g", got, 16*testBps)
+	}
+}
+
+func TestSaturationSweepMonotoneOffered(t *testing.T) {
+	rs := SaturationSweep(4, 4, testBps, testDelay, Uniform,
+		[]float64{0.1, 0.3, 0.6}, 20, 1000, 11)
+	if len(rs) != 3 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i].OfferedBps <= rs[i-1].OfferedBps {
+			t.Fatal("offered loads not increasing")
+		}
+	}
+}
+
+func TestTransposeNeverSelfSends(t *testing.T) {
+	n := New(4, 4, testBps, testDelay)
+	rng := rand.New(rand.NewSource(1))
+	for src := 0; src < n.Nodes(); src++ {
+		if d := Transpose(rng, n, src); d == src {
+			t.Fatalf("transpose self-send at %d", src)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,108 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern selects a destination for a source node in a synthetic traffic
+// workload. Patterns are the classical interconnection-network benchmarks.
+type Pattern func(rng *rand.Rand, net *Network, src int) int
+
+// Uniform sends to a destination chosen uniformly among all other nodes.
+func Uniform(rng *rand.Rand, net *Network, src int) int {
+	d := rng.Intn(net.Nodes() - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends node (r, c) to node (c, r) mapped onto the mesh shape;
+// it stresses the bisection. Nodes on the diagonal pick their horizontal
+// neighbour.
+func Transpose(_ *rand.Rand, net *Network, src int) int {
+	r, c := net.Coord(src)
+	dr := c % net.rows
+	dc := r % net.cols
+	d := net.NodeAt(dr, dc)
+	if d == src {
+		d = net.NodeAt(dr, (dc+1)%net.cols)
+	}
+	if d == src { // 1x1 guard; callers use larger meshes
+		d = (src + 1) % net.Nodes()
+	}
+	return d
+}
+
+// Hotspot sends to node 0 with 20% probability and uniformly otherwise,
+// modelling a shared-service bottleneck (an I/O node on the real Delta).
+func Hotspot(rng *rand.Rand, net *Network, src int) int {
+	if src != 0 && rng.Float64() < 0.2 {
+		return 0
+	}
+	return Uniform(rng, net, src)
+}
+
+// NearestNeighbor sends to the next column neighbour (wrapping), the
+// halo-exchange-like pattern of grid applications.
+func NearestNeighbor(_ *rand.Rand, net *Network, src int) int {
+	r, c := net.Coord(src)
+	return net.NodeAt(r, (c+1)%net.cols)
+}
+
+// LoadResult summarizes an offered-load experiment.
+type LoadResult struct {
+	OfferedBps  float64 // per-node injection rate in bytes/s
+	AcceptedBps float64 // delivered throughput per node
+	AvgLatency  float64
+	MaxLatency  float64
+}
+
+// OfferLoad injects packetsPerNode packets of the given size from every
+// node with exponential inter-arrival times at the given per-node offered
+// rate (bytes/s), runs the simulation and reports delivered throughput and
+// latency. The experiment is deterministic for a fixed seed.
+func OfferLoad(rows, cols int, linkBps, routerDelay float64,
+	pattern Pattern, packetsPerNode, bytes int, offeredBps float64, seed int64) LoadResult {
+	if offeredBps <= 0 {
+		panic("mesh: offered load must be positive")
+	}
+	net := New(rows, cols, linkBps, routerDelay)
+	rng := rand.New(rand.NewSource(seed))
+	meanGap := float64(bytes) / offeredBps
+	for src := 0; src < net.Nodes(); src++ {
+		t := 0.0
+		for k := 0; k < packetsPerNode; k++ {
+			t += rng.ExpFloat64() * meanGap
+			net.Inject(src, pattern(rng, net, src), bytes, t)
+		}
+	}
+	net.Run()
+	s := net.Stats()
+	res := LoadResult{
+		OfferedBps: offeredBps,
+		AvgLatency: s.AvgLatency,
+		MaxLatency: s.MaxLatency,
+	}
+	if s.Makespan > 0 {
+		res.AcceptedBps = float64(s.TotalBytes) / s.Makespan / float64(net.Nodes())
+	}
+	return res
+}
+
+// SaturationSweep measures latency and accepted throughput across a range
+// of offered loads (fractions of link bandwidth), the standard
+// interconnection-network characterization plot.
+func SaturationSweep(rows, cols int, linkBps, routerDelay float64,
+	pattern Pattern, fractions []float64, packetsPerNode, bytes int, seed int64) []LoadResult {
+	out := make([]LoadResult, 0, len(fractions))
+	for _, f := range fractions {
+		if f <= 0 {
+			panic(fmt.Sprintf("mesh: non-positive load fraction %g", f))
+		}
+		out = append(out, OfferLoad(rows, cols, linkBps, routerDelay,
+			pattern, packetsPerNode, bytes, f*linkBps, seed))
+	}
+	return out
+}

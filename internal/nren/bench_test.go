@@ -1,0 +1,48 @@
+package nren
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// BenchmarkMaxMinRates measures the fair-share allocator on a 100-flow,
+// 20-link instance.
+func BenchmarkMaxMinRates(b *testing.B) {
+	const nl, nf = 20, 100
+	caps := make([]float64, nl)
+	for i := range caps {
+		caps[i] = float64(1 + i%7)
+	}
+	flows := make([][]int, nf)
+	for i := range flows {
+		flows[i] = []int{i % nl, (i * 7) % nl, (i * 13) % nl}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxMinRates(flows, caps)
+	}
+}
+
+// BenchmarkConsortiumStorm measures a full all-pairs transfer storm over
+// the consortium topology.
+func BenchmarkConsortiumStorm(b *testing.B) {
+	sites := topo.ConsortiumSites()
+	for i := 0; i < b.N; i++ {
+		g := topo.Consortium()
+		s := New(g)
+		for x, a := range sites {
+			for y, bb := range sites {
+				if x == y {
+					continue
+				}
+				if _, err := s.Transfer(a, bb, 1e6, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

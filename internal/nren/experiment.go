@@ -1,0 +1,76 @@
+package nren
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// LinkClassTable reproduces the consortium network figure as data: for each
+// of the six 1992 link classes it reports the line rate and the unloaded
+// transfer time of refBytes (the figure annotates links with exactly these
+// rates). The rows appear in figure order.
+func LinkClassTable(refBytes float64) (*report.Table, error) {
+	t := report.NewTable(
+		fmt.Sprintf("Delta Consortium link classes (reference transfer: %.0f MB)", refBytes/1e6),
+		"Link class", "Rate (Mbps)", "Transfer time")
+	for _, c := range topo.Classes() {
+		g := topo.NewGraph()
+		g.AddLink("a", "b", c.BytesPerSec(), 1e-3, c.Name)
+		s := New(g)
+		f, err := s.Transfer("a", "b", refBytes, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Run(); err != nil {
+			return nil, err
+		}
+		t.AddRow(c.Name, report.Cellf("%.3f", c.Mbps), report.Cellf("%.2fs", f.Duration()))
+	}
+	return t, nil
+}
+
+// TransferMatrix runs one transfer of bytes between every ordered pair of
+// sites on an otherwise idle network and returns the transfer times in
+// seconds, indexed [from][to] in the order of sites. The diagonal is zero.
+func TransferMatrix(g *topo.Graph, sites []string, bytes float64) ([][]float64, error) {
+	out := make([][]float64, len(sites))
+	for i, a := range sites {
+		out[i] = make([]float64, len(sites))
+		for j, b := range sites {
+			if i == j {
+				continue
+			}
+			s := New(g)
+			f, err := s.Transfer(a, b, bytes, 0)
+			if err != nil {
+				return nil, fmt.Errorf("%s -> %s: %w", a, b, err)
+			}
+			if err := s.Run(); err != nil {
+				return nil, err
+			}
+			out[i][j] = f.Duration()
+		}
+	}
+	return out, nil
+}
+
+// MatrixTable renders a transfer-time matrix with row/column site labels.
+func MatrixTable(title string, sites []string, m [][]float64) *report.Table {
+	cols := append([]string{"From \\ To"}, sites...)
+	t := report.NewTable(title, cols...)
+	for i, a := range sites {
+		row := make([]string, len(sites)+1)
+		row[0] = a
+		for j := range sites {
+			if i == j {
+				row[j+1] = "-"
+			} else {
+				row[j+1] = report.Cellf("%.2f", m[i][j])
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,85 @@
+// Package nren simulates the consortium's wide-area network — the National
+// Research and Education Network substrate of the paper — at flow
+// granularity: transfers follow shortest paths over the topology, share
+// links max-min fairly, and complete under an event-driven fluid model.
+// 1992 wide-area behaviour was bandwidth-dominated, which this model
+// captures while staying fast enough for full-topology sweeps.
+package nren
+
+import "math"
+
+// MaxMinRates computes the max-min fair allocation for flows over capacity-
+// limited links using progressive filling: all flows' rates rise together
+// until a link saturates, flows crossing saturated links freeze, and the
+// rest continue. flowLinks[f] lists the link ids flow f traverses; capacity
+// is indexed by link id. Flows traversing no links (co-located endpoints)
+// receive +Inf.
+func MaxMinRates(flowLinks [][]int, capacity []float64) []float64 {
+	nf := len(flowLinks)
+	rates := make([]float64, nf)
+	frozen := make([]bool, nf)
+	residual := append([]float64(nil), capacity...)
+
+	active := make([]int, 0, nf)
+	for f, links := range flowLinks {
+		if len(links) == 0 {
+			rates[f] = math.Inf(1)
+			frozen[f] = true
+			continue
+		}
+		active = append(active, f)
+	}
+
+	for len(active) > 0 {
+		// count active flows per link
+		count := make([]int, len(capacity))
+		for _, f := range active {
+			for _, l := range flowLinks[f] {
+				count[l]++
+			}
+		}
+		// smallest equal increment that saturates some link
+		inc := math.Inf(1)
+		for l, c := range count {
+			if c == 0 {
+				continue
+			}
+			if v := residual[l] / float64(c); v < inc {
+				inc = v
+			}
+		}
+		if math.IsInf(inc, 1) {
+			break // no active flow crosses any capacitated link
+		}
+		// raise all active flows and charge the links
+		for _, f := range active {
+			rates[f] += inc
+			for _, l := range flowLinks[f] {
+				residual[l] -= inc * 1
+			}
+		}
+		// freeze flows on (numerically) saturated links
+		const eps = 1e-9
+		next := active[:0]
+		for _, f := range active {
+			sat := false
+			for _, l := range flowLinks[f] {
+				if residual[l] <= eps*capacity[l] {
+					sat = true
+					break
+				}
+			}
+			if sat {
+				frozen[f] = true
+			} else {
+				next = append(next, f)
+			}
+		}
+		if len(next) == len(active) {
+			// should be impossible: inc saturated at least one link
+			break
+		}
+		active = next
+	}
+	return rates
+}

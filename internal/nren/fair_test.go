@@ -1,0 +1,125 @@
+package nren
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxMinSingleFlow(t *testing.T) {
+	rates := MaxMinRates([][]int{{0}}, []float64{10})
+	if rates[0] != 10 {
+		t.Fatalf("single flow rate = %g, want full capacity 10", rates[0])
+	}
+}
+
+func TestMaxMinEqualSharing(t *testing.T) {
+	rates := MaxMinRates([][]int{{0}, {0}, {0}}, []float64{9})
+	for _, r := range rates {
+		if math.Abs(r-3) > 1e-9 {
+			t.Fatalf("rates = %v, want 3 each", rates)
+		}
+	}
+}
+
+func TestMaxMinClassicTandem(t *testing.T) {
+	// Textbook example: link0 cap 1 shared by flows A (link0 only) and B
+	// (link0+link1); link1 cap 10. A and B each get 0.5 on the bottleneck.
+	rates := MaxMinRates([][]int{{0}, {0, 1}}, []float64{1, 10})
+	if math.Abs(rates[0]-0.5) > 1e-9 || math.Abs(rates[1]-0.5) > 1e-9 {
+		t.Fatalf("rates = %v, want [0.5 0.5]", rates)
+	}
+}
+
+func TestMaxMinUnbottleneckedFlowGetsMore(t *testing.T) {
+	// Flow A crosses the thin link (cap 1) with B; flow C has its own fat
+	// link (cap 10): C must get 10, A and B 0.5 each.
+	rates := MaxMinRates([][]int{{0}, {0}, {1}}, []float64{1, 10})
+	if math.Abs(rates[0]-0.5) > 1e-9 || math.Abs(rates[1]-0.5) > 1e-9 {
+		t.Fatalf("thin-link flows: %v", rates)
+	}
+	if math.Abs(rates[2]-10) > 1e-9 {
+		t.Fatalf("fat-link flow = %g, want 10", rates[2])
+	}
+}
+
+func TestMaxMinEmptyPathInfinite(t *testing.T) {
+	rates := MaxMinRates([][]int{{}}, []float64{5})
+	if !math.IsInf(rates[0], 1) {
+		t.Fatalf("zero-link flow rate = %g, want +Inf", rates[0])
+	}
+}
+
+func TestMaxMinFeasibilityProperty(t *testing.T) {
+	// Property: allocations never exceed any link capacity, and every flow
+	// crosses at least one saturated link (max-min bottleneck condition).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 1 + rng.Intn(6)
+		nf := 1 + rng.Intn(8)
+		caps := make([]float64, nl)
+		for i := range caps {
+			caps[i] = 1 + rng.Float64()*99
+		}
+		flows := make([][]int, nf)
+		for i := range flows {
+			k := 1 + rng.Intn(nl)
+			perm := rng.Perm(nl)[:k]
+			flows[i] = perm
+		}
+		rates := MaxMinRates(flows, caps)
+		// feasibility
+		load := make([]float64, nl)
+		for i, links := range flows {
+			for _, l := range links {
+				load[l] += rates[i]
+			}
+		}
+		for l := range caps {
+			if load[l] > caps[l]*(1+1e-6) {
+				return false
+			}
+		}
+		// bottleneck condition: every flow sees a saturated link
+		for _, links := range flows {
+			sat := false
+			for _, l := range links {
+				if load[l] >= caps[l]*(1-1e-6) {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxMinFairnessProperty(t *testing.T) {
+	// Property: on any single shared link, all flows crossing only that
+	// link get identical rates.
+	f := func(nRaw uint8, capRaw uint16) bool {
+		n := int(nRaw)%7 + 1
+		cap := float64(capRaw)/100 + 1
+		flows := make([][]int, n)
+		for i := range flows {
+			flows[i] = []int{0}
+		}
+		rates := MaxMinRates(flows, []float64{cap})
+		for _, r := range rates {
+			if math.Abs(r-cap/float64(n)) > 1e-9*cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

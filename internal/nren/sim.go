@@ -1,0 +1,195 @@
+package nren
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/topo"
+)
+
+// Flow is one wide-area transfer.
+type Flow struct {
+	ID        int
+	Src, Dst  string
+	Bytes     float64
+	StartAt   float64
+	FinishAt  float64  // set by Run
+	PathLinks []string // labels of traversed links, for reports
+
+	path      []int // directed link ids
+	remaining float64
+	rate      float64
+	started   bool
+	baseDelay float64 // sum of propagation delays on the path
+}
+
+// Duration returns the transfer's completion time minus its start time.
+func (f *Flow) Duration() float64 { return f.FinishAt - f.StartAt }
+
+// AvgRateBps returns the achieved average rate in bytes per second.
+func (f *Flow) AvgRateBps() float64 {
+	d := f.Duration()
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return f.Bytes / d
+}
+
+// Sim is an event-driven fluid simulation of transfers over a topology.
+type Sim struct {
+	g        *topo.Graph
+	linkID   map[string]int // "from->to" -> id
+	capacity []float64
+	linkBusy []float64 // byte-seconds integrated per link, for utilization
+	flows    []*Flow
+	now      float64
+	ran      bool
+}
+
+// New creates a simulation over the given topology.
+func New(g *topo.Graph) *Sim {
+	s := &Sim{g: g, linkID: make(map[string]int)}
+	for _, e := range g.AllEdges() {
+		key := linkKey(e.From, e.To)
+		if _, ok := s.linkID[key]; !ok {
+			s.linkID[key] = len(s.capacity)
+			s.capacity = append(s.capacity, e.BandwidthBps)
+		}
+	}
+	s.linkBusy = make([]float64, len(s.capacity))
+	return s
+}
+
+func linkKey(from, to int) string { return fmt.Sprintf("%d->%d", from, to) }
+
+// Transfer schedules a transfer of bytes from src to dst starting at the
+// given time, routed on the bandwidth-aware shortest path for its size.
+func (s *Sim) Transfer(src, dst string, bytes, at float64) (*Flow, error) {
+	if s.ran {
+		return nil, errors.New("nren: Sim already ran; create a new one")
+	}
+	if bytes <= 0 {
+		return nil, errors.New("nren: transfer size must be positive")
+	}
+	if at < 0 {
+		return nil, errors.New("nren: negative start time")
+	}
+	edges, err := s.g.ShortestPath(src, dst, bytes)
+	if err != nil {
+		return nil, err
+	}
+	f := &Flow{
+		ID: len(s.flows), Src: src, Dst: dst,
+		Bytes: bytes, StartAt: at, remaining: bytes,
+	}
+	for _, e := range edges {
+		f.path = append(f.path, s.linkID[linkKey(e.From, e.To)])
+		f.PathLinks = append(f.PathLinks, e.Label)
+		f.baseDelay += e.DelaySec
+	}
+	s.flows = append(s.flows, f)
+	return f, nil
+}
+
+// Run simulates until every flow completes. Rates are recomputed max-min
+// fairly at every flow arrival and departure.
+func (s *Sim) Run() error {
+	if s.ran {
+		return errors.New("nren: Sim already ran")
+	}
+	s.ran = true
+
+	pending := append([]*Flow(nil), s.flows...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].StartAt < pending[j].StartAt })
+	var active []*Flow
+
+	recompute := func() {
+		links := make([][]int, len(active))
+		for i, f := range active {
+			links[i] = f.path
+		}
+		rates := MaxMinRates(links, s.capacity)
+		for i, f := range active {
+			f.rate = rates[i]
+		}
+	}
+
+	for len(pending) > 0 || len(active) > 0 {
+		// next arrival and next completion
+		nextArrival := math.Inf(1)
+		if len(pending) > 0 {
+			nextArrival = pending[0].StartAt
+		}
+		nextDone := math.Inf(1)
+		for _, f := range active {
+			if f.rate <= 0 {
+				return fmt.Errorf("nren: active flow %d has zero rate; disconnected link set", f.ID)
+			}
+			if t := s.now + f.remaining/f.rate; t < nextDone {
+				nextDone = t
+			}
+		}
+		t := math.Min(nextArrival, nextDone)
+		if math.IsInf(t, 1) {
+			return errors.New("nren: no progress possible")
+		}
+		// advance fluid state to t
+		dt := t - s.now
+		for _, f := range active {
+			f.remaining -= f.rate * dt
+			for _, l := range f.path {
+				s.linkBusy[l] += f.rate * dt / s.capacity[l]
+			}
+		}
+		s.now = t
+		// process completions (tolerate float dust)
+		const eps = 1e-6
+		keep := active[:0]
+		for _, f := range active {
+			if f.remaining <= eps*f.Bytes {
+				f.remaining = 0
+				f.FinishAt = s.now + f.baseDelay // tail propagation
+			} else {
+				keep = append(keep, f)
+			}
+		}
+		changed := len(keep) != len(active)
+		active = keep
+		// process arrivals
+		for len(pending) > 0 && pending[0].StartAt <= s.now {
+			f := pending[0]
+			pending = pending[1:]
+			f.started = true
+			if len(f.path) == 0 { // co-located endpoints
+				f.FinishAt = f.StartAt
+				continue
+			}
+			active = append(active, f)
+			changed = true
+		}
+		if changed {
+			recompute()
+		}
+	}
+	return nil
+}
+
+// Utilization returns the fraction of each link's capacity-time consumed up
+// to the end of the simulation, keyed by "From->To" node names.
+func (s *Sim) Utilization() map[string]float64 {
+	out := make(map[string]float64)
+	if s.now <= 0 {
+		return out
+	}
+	for _, e := range s.g.AllEdges() {
+		id := s.linkID[linkKey(e.From, e.To)]
+		key := s.g.Name(e.From) + "->" + s.g.Name(e.To)
+		out[key] = s.linkBusy[id] / s.now
+	}
+	return out
+}
+
+// Now returns the simulation end time after Run.
+func (s *Sim) Now() float64 { return s.now }

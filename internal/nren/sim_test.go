@@ -1,0 +1,223 @@
+package nren
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+)
+
+// line returns a two-node graph with one link of the given bytes/s.
+func line(bps float64) *topo.Graph {
+	g := topo.NewGraph()
+	g.AddLink("a", "b", bps, 1e-3, "link")
+	return g
+}
+
+func TestSingleFlowTime(t *testing.T) {
+	s := New(line(1e6)) // 1 MB/s
+	f, err := s.Transfer("a", "b", 10e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 10.0 + 1e-3 // serialization + propagation
+	if math.Abs(f.Duration()-want) > 1e-6 {
+		t.Fatalf("duration = %g, want %g", f.Duration(), want)
+	}
+	if math.Abs(f.AvgRateBps()-10e6/want) > 1 {
+		t.Fatalf("avg rate = %g", f.AvgRateBps())
+	}
+}
+
+func TestTwoFlowsShareFairly(t *testing.T) {
+	s := New(line(1e6))
+	f1, _ := s.Transfer("a", "b", 5e6, 0)
+	f2, _ := s.Transfer("a", "b", 5e6, 0)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// both get 0.5 MB/s; each finishes after ~10s
+	for _, f := range []*Flow{f1, f2} {
+		if math.Abs(f.Duration()-10.0-1e-3) > 1e-3 {
+			t.Fatalf("shared flow duration = %g, want ~10s", f.Duration())
+		}
+	}
+}
+
+func TestLateFlowSpeedsUpAfterFirstCompletes(t *testing.T) {
+	s := New(line(1e6))
+	// f1: 2 MB alone for 1s, then shares
+	f1, _ := s.Transfer("a", "b", 2e6, 0)
+	f2, _ := s.Transfer("a", "b", 2e6, 1)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// f1: 1 MB alone (1s), then 0.5 MB/s -> 2 more seconds; done at 3s
+	if math.Abs(f1.FinishAt-3.0-1e-3) > 1e-3 {
+		t.Fatalf("f1 finish = %g, want ~3s", f1.FinishAt)
+	}
+	// f2: 0.5 MB/s from t=1 to 3 (1 MB), then 1 MB/s (1 MB): done at 4s
+	if math.Abs(f2.FinishAt-4.0-1e-3) > 1e-3 {
+		t.Fatalf("f2 finish = %g, want ~4s", f2.FinishAt)
+	}
+}
+
+func TestColocatedEndpoints(t *testing.T) {
+	g := topo.NewGraph()
+	g.AddLink("a", "b", 1e6, 1e-3, "l")
+	s := New(g)
+	f, err := s.Transfer("a", "a", 1e6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if f.FinishAt != 5 {
+		t.Fatalf("co-located transfer should be instant, got finish %g", f.FinishAt)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	s := New(line(1e6))
+	if _, err := s.Transfer("a", "b", 0, 0); err == nil {
+		t.Fatal("zero bytes should error")
+	}
+	if _, err := s.Transfer("a", "b", 1, -1); err == nil {
+		t.Fatal("negative start should error")
+	}
+	if _, err := s.Transfer("a", "zzz", 1, 0); err == nil {
+		t.Fatal("unknown site should error")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err == nil {
+		t.Fatal("double Run should error")
+	}
+	if _, err := s.Transfer("a", "b", 1, 0); err == nil {
+		t.Fatal("Transfer after Run should error")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	s := New(line(1e6))
+	s.Transfer("a", "b", 1e6, 0)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := s.Utilization()
+	if u["a->b"] < 0.9 || u["a->b"] > 1.01 {
+		t.Fatalf("a->b utilization = %g, want ~1", u["a->b"])
+	}
+	if u["b->a"] != 0 {
+		t.Fatalf("reverse direction should be idle, got %g", u["b->a"])
+	}
+}
+
+func TestConsortiumHippiVsT1Crossover(t *testing.T) {
+	// E5 shape: a 10 MB dataset moves over CASA HIPPI ~500x faster than
+	// over an NSFnet T1 tail (the figure's 800 vs 1.5 Mbps).
+	g := topo.Consortium()
+
+	s1 := New(g)
+	fast, err := s1.Transfer(topo.SiteCaltech, topo.SiteJPL, 10e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(g)
+	slow, err := s2.Transfer(topo.SiteCaltech, topo.SiteRice, 10e6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ratio := slow.Duration() / fast.Duration()
+	if ratio < 100 {
+		t.Fatalf("T1-path/HIPPI-path time ratio = %g, want >100", ratio)
+	}
+	for _, l := range fast.PathLinks {
+		if l != topo.CASAHippi.Name {
+			t.Fatalf("Caltech->JPL should ride HIPPI, got %v", fast.PathLinks)
+		}
+	}
+}
+
+func TestLinkClassTableFigureOrder(t *testing.T) {
+	tbl, err := LinkClassTable(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, c := range topo.Classes() {
+		if !strings.Contains(out, c.Name) {
+			t.Fatalf("class %q missing:\n%s", c.Name, out)
+		}
+	}
+	// 56 kbps transfer of 10 MB takes ~1430s; HIPPI ~0.1s
+	if !strings.Contains(out, "1428.5") && !strings.Contains(out, "1428.6") {
+		t.Fatalf("56 kbps row should show ~1428.6s:\n%s", out)
+	}
+}
+
+func TestTransferMatrixSymmetricZeroDiagonal(t *testing.T) {
+	g := topo.Consortium()
+	sites := []string{topo.SiteCaltech, topo.SiteJPL, topo.SiteRice}
+	m, err := TransferMatrix(g, sites, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sites {
+		if m[i][i] != 0 {
+			t.Fatalf("diagonal not zero: %v", m[i][i])
+		}
+		for j := range sites {
+			if i != j && m[i][j] <= 0 {
+				t.Fatalf("m[%d][%d] = %g", i, j, m[i][j])
+			}
+			// symmetric topology: times should match both directions
+			if math.Abs(m[i][j]-m[j][i]) > 1e-9 {
+				t.Fatalf("matrix asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	tbl := MatrixTable("times", sites, m)
+	if !strings.Contains(tbl.Render(), topo.SiteJPL) {
+		t.Fatal("matrix table missing site label")
+	}
+}
+
+func TestManyFlowsDeterministic(t *testing.T) {
+	run := func() float64 {
+		g := topo.Consortium()
+		s := New(g)
+		sites := topo.ConsortiumSites()
+		for i, a := range sites {
+			for j, b := range sites {
+				if i == j {
+					continue
+				}
+				if _, err := s.Transfer(a, b, 1e6, float64(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic end time: %g vs %g", a, b)
+	}
+}

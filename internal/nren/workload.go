@@ -1,0 +1,95 @@
+package nren
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// Workload describes a randomized transfer mix over a topology: flows
+// arrive Poisson at the given rate between uniformly chosen distinct
+// sites, with exponentially distributed sizes around MeanBytes.
+type Workload struct {
+	Sites       []string
+	ArrivalRate float64 // flows per second
+	MeanBytes   float64
+	Flows       int
+	Seed        int64
+}
+
+// WorkloadStats summarizes a completed workload run.
+type WorkloadStats struct {
+	Flows        int
+	MeanDuration float64
+	P95Duration  float64 // approximated as the 95th percentile sample
+	MeanRateBps  float64
+	DrainTime    float64 // when the last flow finished
+}
+
+// RunWorkload generates and simulates the workload, returning both the
+// flows and summary statistics. It is deterministic for a fixed seed.
+func RunWorkload(g *topo.Graph, w Workload) ([]*Flow, WorkloadStats, error) {
+	if len(w.Sites) < 2 {
+		return nil, WorkloadStats{}, errors.New("nren: workload needs at least two sites")
+	}
+	if w.ArrivalRate <= 0 || w.MeanBytes <= 0 || w.Flows < 1 {
+		return nil, WorkloadStats{}, errors.New("nren: workload parameters must be positive")
+	}
+	rng := rand.New(rand.NewSource(w.Seed))
+	s := New(g)
+	flows := make([]*Flow, 0, w.Flows)
+	t := 0.0
+	for i := 0; i < w.Flows; i++ {
+		t += rng.ExpFloat64() / w.ArrivalRate
+		src := w.Sites[rng.Intn(len(w.Sites))]
+		dst := w.Sites[rng.Intn(len(w.Sites)-1)]
+		if dst == src {
+			dst = w.Sites[len(w.Sites)-1]
+		}
+		bytes := rng.ExpFloat64() * w.MeanBytes
+		if bytes < 1 {
+			bytes = 1
+		}
+		f, err := s.Transfer(src, dst, bytes, t)
+		if err != nil {
+			return nil, WorkloadStats{}, err
+		}
+		flows = append(flows, f)
+	}
+	if err := s.Run(); err != nil {
+		return nil, WorkloadStats{}, err
+	}
+	durations := make([]float64, len(flows))
+	rates := make([]float64, len(flows))
+	for i, f := range flows {
+		durations[i] = f.Duration()
+		rates[i] = f.AvgRateBps()
+	}
+	st := WorkloadStats{
+		Flows:        len(flows),
+		MeanDuration: stats.Mean(durations),
+		MeanRateBps:  stats.Mean(rates),
+		DrainTime:    s.Now(),
+	}
+	if p95, err := percentile95(durations); err == nil {
+		st.P95Duration = p95
+	}
+	return flows, st, nil
+}
+
+func percentile95(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, stats.ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	// simple selection: sort is fine at these sizes
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(0.95 * float64(len(cp)-1))
+	return cp[idx], nil
+}

@@ -1,0 +1,88 @@
+package nren
+
+import (
+	"testing"
+
+	"repro/internal/topo"
+)
+
+func TestRunWorkloadBasic(t *testing.T) {
+	g := topo.Consortium()
+	flows, st, err := RunWorkload(g, Workload{
+		Sites:       topo.ConsortiumSites(),
+		ArrivalRate: 1.0,
+		MeanBytes:   1e6,
+		Flows:       50,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 50 || st.Flows != 50 {
+		t.Fatalf("flows = %d / %d", len(flows), st.Flows)
+	}
+	if st.MeanDuration <= 0 || st.DrainTime <= 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if st.P95Duration < st.MeanDuration {
+		t.Fatalf("p95 (%g) below mean (%g)", st.P95Duration, st.MeanDuration)
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("workload generated a self-transfer")
+		}
+		if f.FinishAt < f.StartAt {
+			t.Fatalf("flow finished before it started: %+v", f)
+		}
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	g := topo.Consortium()
+	w := Workload{Sites: topo.ConsortiumSites(), ArrivalRate: 2, MeanBytes: 5e5, Flows: 30, Seed: 3}
+	_, a, err := RunWorkload(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := RunWorkload(g, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDuration != b.MeanDuration || a.DrainTime != b.DrainTime {
+		t.Fatalf("workload not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunWorkloadValidation(t *testing.T) {
+	g := topo.Consortium()
+	bad := []Workload{
+		{Sites: []string{topo.SiteCaltech}, ArrivalRate: 1, MeanBytes: 1, Flows: 1},
+		{Sites: topo.ConsortiumSites(), ArrivalRate: 0, MeanBytes: 1, Flows: 1},
+		{Sites: topo.ConsortiumSites(), ArrivalRate: 1, MeanBytes: 0, Flows: 1},
+		{Sites: topo.ConsortiumSites(), ArrivalRate: 1, MeanBytes: 1, Flows: 0},
+	}
+	for i, w := range bad {
+		if _, _, err := RunWorkload(g, w); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestCongestionSlowsFlows(t *testing.T) {
+	// A heavier offered load on the same topology must raise mean
+	// transfer duration (thin links become contended).
+	g := topo.Consortium()
+	sites := topo.ConsortiumSites()
+	_, light, err := RunWorkload(g, Workload{Sites: sites, ArrivalRate: 0.01, MeanBytes: 2e6, Flows: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, heavy, err := RunWorkload(g, Workload{Sites: sites, ArrivalRate: 100, MeanBytes: 2e6, Flows: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.MeanDuration <= light.MeanDuration {
+		t.Fatalf("congestion did not slow flows: light %g, heavy %g",
+			light.MeanDuration, heavy.MeanDuration)
+	}
+}

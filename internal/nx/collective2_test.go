@@ -1,0 +1,177 @@
+package nx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingAllreduceMatchesTree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, vecLen := range []int{1, 4, 17, 64} {
+			n, vecLen := n, vecLen
+			inputs := make([][]float64, n)
+			rng := rand.New(rand.NewSource(int64(n*100 + vecLen)))
+			for i := range inputs {
+				inputs[i] = make([]float64, vecLen)
+				for j := range inputs[i] {
+					inputs[i][j] = rng.NormFloat64()
+				}
+			}
+			want := make([]float64, vecLen)
+			for _, in := range inputs {
+				for j, v := range in {
+					want[j] += v
+				}
+			}
+			mustRun(t, Config{Model: tiny(1, 8), Procs: n}, func(p *Proc) {
+				out := p.World().RingAllreduceFloats(inputs[p.Rank()], SumOp)
+				if len(out) != vecLen {
+					t.Errorf("n=%d len=%d: got %d elements", n, vecLen, len(out))
+					return
+				}
+				for j := range want {
+					if math.Abs(out[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+						t.Errorf("n=%d len=%d rank=%d: out[%d]=%g want %g",
+							n, vecLen, p.Rank(), j, out[j], want[j])
+						return
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestRingAllreduceShortVector(t *testing.T) {
+	// vector shorter than the group: some chunks are empty
+	mustRun(t, Config{Model: tiny(1, 6)}, func(p *Proc) {
+		out := p.World().RingAllreduceFloats([]float64{1, 2}, SumOp)
+		if out[0] != 6 || out[1] != 12 {
+			t.Errorf("rank %d: %v, want [6 12]", p.Rank(), out)
+		}
+	})
+}
+
+func TestRingBeatsTreeForLargeVectors(t *testing.T) {
+	// The design choice the ablation quantifies: for large payloads the
+	// ring's 2(n-1) chunk transfers beat the tree's log2(n) full-vector
+	// store-and-forward levels.
+	model := tiny(1, 16)
+	const bytes = 1 << 20
+	tree := mustRun(t, Config{Model: model}, func(p *Proc) {
+		g := p.World()
+		g.ReducePhantom(0, bytes)
+		g.BcastPhantom(0, bytes)
+	})
+	ring := mustRun(t, Config{Model: model}, func(p *Proc) {
+		p.World().RingAllreducePhantom(bytes)
+	})
+	if ring.Makespan >= tree.Makespan {
+		t.Fatalf("ring (%g) should beat tree (%g) at 1 MiB", ring.Makespan, tree.Makespan)
+	}
+}
+
+func TestTreeBeatsRingForSmallVectors(t *testing.T) {
+	// ... and the tree wins in the latency regime.
+	model := tiny(1, 16)
+	const bytes = 8
+	tree := mustRun(t, Config{Model: model}, func(p *Proc) {
+		g := p.World()
+		g.ReducePhantom(0, bytes)
+		g.BcastPhantom(0, bytes)
+	})
+	ring := mustRun(t, Config{Model: model}, func(p *Proc) {
+		p.World().RingAllreducePhantom(bytes)
+	})
+	if tree.Makespan >= ring.Makespan {
+		t.Fatalf("tree (%g) should beat ring (%g) at 8 bytes", tree.Makespan, ring.Makespan)
+	}
+}
+
+func TestScatter(t *testing.T) {
+	mustRun(t, Config{Model: tiny(1, 4)}, func(p *Proc) {
+		g := p.World()
+		var xs []float64
+		if g.Rank() == 1 { // non-zero root
+			xs = []float64{0, 1, 10, 11, 20, 21, 30, 31}
+		}
+		out := g.ScatterFloats(1, xs)
+		want := []float64{float64(10 * g.Rank()), float64(10*g.Rank() + 1)}
+		if len(out) != 2 || out[0] != want[0] || out[1] != want[1] {
+			t.Errorf("rank %d: scatter = %v, want %v", g.Rank(), out, want)
+		}
+	})
+}
+
+func TestScatterValidation(t *testing.T) {
+	_, err := Run(Config{Model: tiny(1, 4)}, func(p *Proc) {
+		g := p.World()
+		var xs []float64
+		if g.Rank() == 0 {
+			xs = make([]float64, 7) // not divisible by 4
+		}
+		g.ScatterFloats(0, xs)
+	})
+	var pe *PanicError
+	if !asErr(err, &pe) {
+		t.Fatalf("want PanicError, got %v", err)
+	}
+}
+
+func TestScanPrefixSums(t *testing.T) {
+	const n = 7
+	mustRun(t, Config{Model: tiny(1, n)}, func(p *Proc) {
+		g := p.World()
+		out := g.ScanFloats([]float64{float64(g.Rank() + 1)}, SumOp)
+		// inclusive prefix of 1..r+1 = (r+1)(r+2)/2
+		r := g.Rank()
+		want := float64((r + 1) * (r + 2) / 2)
+		if out[0] != want {
+			t.Errorf("rank %d: scan = %g, want %g", r, out[0], want)
+		}
+	})
+}
+
+func TestScanSingleProc(t *testing.T) {
+	mustRun(t, Config{Model: tiny(1, 1)}, func(p *Proc) {
+		out := p.World().ScanFloats([]float64{5}, SumOp)
+		if out[0] != 5 {
+			t.Errorf("scan on 1 proc = %v", out)
+		}
+	})
+}
+
+func TestRingAllreducePropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		vecLen := 1 + rng.Intn(32)
+		inputs := make([][]float64, n)
+		for i := range inputs {
+			inputs[i] = make([]float64, vecLen)
+			for j := range inputs[i] {
+				inputs[i][j] = rng.NormFloat64()
+			}
+		}
+		want := make([]float64, vecLen)
+		for _, in := range inputs {
+			for j, v := range in {
+				want[j] += v
+			}
+		}
+		ok := true
+		_, err := Run(Config{Model: tiny(1, 8), Procs: n}, func(p *Proc) {
+			out := p.World().RingAllreduceFloats(inputs[p.Rank()], SumOp)
+			for j := range want {
+				if math.Abs(out[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+					ok = false
+				}
+			}
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

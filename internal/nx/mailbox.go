@@ -1,0 +1,109 @@
+package nx
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Msg is a received message. Exactly one of Data or Floats is non-nil for
+// payload-carrying messages; both are nil for phantom messages, whose
+// declared size still contributes to virtual transfer time and statistics.
+type Msg struct {
+	Src      int
+	Tag      Tag
+	Data     []byte
+	Floats   []float64
+	Bytes    int     // payload size in bytes (declared size for phantoms)
+	ArriveAt float64 // virtual arrival time at the receiver
+}
+
+// mailbox is the per-process receive queue with MPI-style (src, tag)
+// matching. put may be called from any goroutine; get only from the owner.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []Msg
+	aborted bool
+	// wantSrc/wantTag describe the in-progress blocked receive for
+	// deadlock diagnostics; valid only while waiting is true.
+	waiting bool
+	wantSrc int
+	wantTag Tag
+}
+
+func (m *mailbox) init() {
+	m.cond = sync.NewCond(&m.mu)
+}
+
+func (m *mailbox) put(rt *runtime, msg Msg) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	atomic.AddUint64(&rt.puts, 1)
+	m.cond.Signal()
+}
+
+// get blocks until a message matching (src, tag) is available and removes
+// it from the queue. Matching scans pending messages in arrival order, so
+// messages from a given source are received in the order they were sent.
+func (m *mailbox) get(rt *runtime, src int, tag Tag) Msg {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.aborted {
+			panic(deadlockSignal{})
+		}
+		for i := range m.pending {
+			msg := m.pending[i]
+			if (src == AnySrc || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg
+			}
+		}
+		m.waiting, m.wantSrc, m.wantTag = true, src, tag
+		atomic.AddInt64(&rt.blocked, 1)
+		m.cond.Wait()
+		atomic.AddInt64(&rt.blocked, -1)
+		m.waiting = false
+	}
+}
+
+// probe reports whether a matching message is available without removing it.
+func (m *mailbox) probe(src int, tag Tag) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.pending {
+		msg := m.pending[i]
+		if (src == AnySrc || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// abort wakes every waiter with a teardown signal and poisons the mailbox.
+func (m *mailbox) abort() {
+	m.mu.Lock()
+	m.aborted = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// waitingFor describes the blocked receive, if any, for diagnostics.
+func (m *mailbox) waitingFor() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.waiting {
+		return ""
+	}
+	src := "any"
+	if m.wantSrc != AnySrc {
+		src = fmt.Sprintf("%d", m.wantSrc)
+	}
+	tag := "any"
+	if m.wantTag != AnyTag {
+		tag = fmt.Sprintf("%d", int(m.wantTag))
+	}
+	return fmt.Sprintf("(src=%s, tag=%s) with %d pending", src, tag, len(m.pending))
+}

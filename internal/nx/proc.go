@@ -1,0 +1,207 @@
+package nx
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Proc is one simulated process. All methods must be called from the
+// goroutine Run started for it.
+type Proc struct {
+	rank  int
+	size  int
+	model machine.Model
+	clock vtime.Clock
+	mbox  mailbox
+	rt    *runtime
+	stats ProcStats
+	tview *trace.ProcView
+}
+
+// Rank returns this process's rank in [0, Size()).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of processes in the run.
+func (p *Proc) Size() int { return p.size }
+
+// Model returns the machine model of the run.
+func (p *Proc) Model() machine.Model { return p.model }
+
+// Now returns the process's current virtual time in seconds.
+func (p *Proc) Now() float64 { return p.clock.Now() }
+
+// Compute charges flops floating-point operations of the given class to the
+// local clock through the machine model.
+func (p *Proc) Compute(op machine.Op, flops float64) {
+	d := p.model.ComputeTime(op, flops)
+	start := p.clock.Now()
+	p.clock.Advance(d)
+	if flops > 0 {
+		p.stats.Flops += flops
+	}
+	p.stats.ComputeTime += d
+	p.tview.Add(trace.PhaseCompute, start, p.clock.Now())
+}
+
+// Elapse advances the local clock by a fixed duration (non-flop work such as
+// memory movement or I/O). Negative durations are ignored.
+func (p *Proc) Elapse(seconds float64) {
+	start := p.clock.Now()
+	p.clock.Advance(seconds)
+	if seconds > 0 {
+		p.stats.ComputeTime += seconds
+	}
+	p.tview.Add(trace.PhaseCompute, start, p.clock.Now())
+}
+
+func (p *Proc) checkDst(dst int) {
+	if dst < 0 || dst >= p.size {
+		panic(fmt.Sprintf("nx: rank %d sending to invalid rank %d (size %d)", p.rank, dst, p.size))
+	}
+}
+
+func (p *Proc) checkTag(tag Tag, wildcardOK bool) {
+	if wildcardOK && tag == AnyTag {
+		return
+	}
+	if tag < 0 || tag >= TagUserMax {
+		// Collective-internal tags are sent through sendRaw directly, so
+		// anything arriving here with a reserved tag is a user error.
+		panic(fmt.Sprintf("nx: tag %d outside user range [0,%d)", int(tag), int(TagUserMax)))
+	}
+}
+
+// sendRaw performs the common send path. Exactly one of data/floats may be
+// non-nil; nbytes is the modelled payload size.
+//
+// The sender's clock is charged the software overhead plus the payload
+// serialization time: the node's single network port cannot overlap the
+// bytes of back-to-back sends (LogGP's per-byte gap G). The message then
+// needs only the base latency and per-hop time to arrive, so the one-way
+// point-to-point total matches machine.PointToPointTime.
+func (p *Proc) sendRaw(dst int, tag Tag, data []byte, floats []float64, nbytes int) {
+	p.checkDst(dst)
+	start := p.clock.Now()
+	p.clock.Advance(p.model.Net.SendOverhead + float64(nbytes)*p.model.Net.ByteTime)
+	arrive := p.clock.Now() + p.model.Net.Latency +
+		float64(p.model.Hops(p.rank, dst))*p.model.Net.PerHop
+	p.rt.procs[dst].mbox.put(p.rt, Msg{
+		Src: p.rank, Tag: tag, Data: data, Floats: floats,
+		Bytes: nbytes, ArriveAt: arrive,
+	})
+	p.stats.BytesSent += int64(nbytes)
+	p.stats.MsgsSent++
+	p.tview.Add(trace.PhaseSend, start, p.clock.Now())
+}
+
+// Send delivers a copy of data to dst with the given tag (csend).
+func (p *Proc) Send(dst int, tag Tag, data []byte) {
+	p.checkTag(tag, false)
+	cp := append([]byte(nil), data...)
+	p.sendRaw(dst, tag, cp, nil, len(cp))
+}
+
+// SendFloats delivers a copy of xs to dst with the given tag.
+func (p *Proc) SendFloats(dst int, tag Tag, xs []float64) {
+	p.checkTag(tag, false)
+	cp := append([]float64(nil), xs...)
+	p.sendRaw(dst, tag, nil, cp, 8*len(cp))
+}
+
+// SendPhantom delivers a payload-free message that is accounted (in virtual
+// transfer time and byte statistics) as nbytes. Phantom messages let
+// Delta-scale runs model communication without moving data.
+func (p *Proc) SendPhantom(dst int, tag Tag, nbytes int) {
+	p.checkTag(tag, false)
+	if nbytes < 0 {
+		nbytes = 0
+	}
+	p.sendRaw(dst, tag, nil, nil, nbytes)
+}
+
+// recvRaw is the common receive path: block for a match, then merge the
+// arrival time and charge the receive overhead.
+func (p *Proc) recvRaw(src int, tag Tag) Msg {
+	if src != AnySrc && (src < 0 || src >= p.size) {
+		panic(fmt.Sprintf("nx: rank %d receiving from invalid rank %d", p.rank, src))
+	}
+	start := p.clock.Now()
+	msg := p.mbox.get(p.rt, src, tag)
+	if msg.ArriveAt > p.clock.Now() {
+		p.stats.RecvWait += msg.ArriveAt - p.clock.Now()
+		p.clock.MergeAtLeast(msg.ArriveAt)
+	}
+	p.clock.Advance(p.model.Net.RecvOverhead)
+	p.tview.Add(trace.PhaseRecvWait, start, p.clock.Now())
+	return msg
+}
+
+// Recv blocks until a message matching (src, tag) arrives (crecv). src may
+// be AnySrc and tag may be AnyTag.
+//
+// Virtual time is deterministic only for exact-source receives: wildcard
+// receives match in host arrival order, which can vary between runs when
+// multiple candidates race.
+func (p *Proc) Recv(src int, tag Tag) Msg {
+	p.checkTag(tag, true)
+	return p.recvRaw(src, tag)
+}
+
+// RecvFloats receives a message sent with SendFloats and returns its payload.
+// It panics if the matched message does not carry a float payload.
+func (p *Proc) RecvFloats(src int, tag Tag) []float64 {
+	m := p.Recv(src, tag)
+	if m.Floats == nil && m.Bytes != 0 {
+		panic(fmt.Sprintf("nx: rank %d: RecvFloats matched non-float message from %d tag %d",
+			p.rank, m.Src, int(m.Tag)))
+	}
+	return m.Floats
+}
+
+// Probe reports whether a message matching (src, tag) is already queued.
+func (p *Proc) Probe(src int, tag Tag) bool {
+	return p.mbox.probe(src, tag)
+}
+
+// Request is a pending nonblocking receive posted with IRecv. Wait
+// completes it.
+type Request struct {
+	p    *Proc
+	src  int
+	tag  Tag
+	done bool
+}
+
+// IRecv posts a nonblocking receive (irecv in NX terms). The returned
+// Request must be completed with Wait. Because the runtime buffers eagerly,
+// the value of IRecv is virtual-time overlap: computation performed between
+// IRecv and Wait advances the local clock, hiding the message's flight
+// time, exactly as overlap did on the real machine.
+func (p *Proc) IRecv(src int, tag Tag) *Request {
+	p.checkTag(tag, true)
+	if src != AnySrc && (src < 0 || src >= p.size) {
+		panic(fmt.Sprintf("nx: rank %d posting irecv from invalid rank %d", p.rank, src))
+	}
+	return &Request{p: p, src: src, tag: tag}
+}
+
+// Wait blocks until the posted receive completes and returns the message.
+// Waiting twice on the same request panics.
+func (r *Request) Wait() Msg {
+	if r.done {
+		panic("nx: Wait on a completed Request")
+	}
+	r.done = true
+	return r.p.recvRaw(r.src, r.tag)
+}
+
+// PingPong measures the modelled one-way time for an n-byte message between
+// this process and peer; it is used to fit Hockney parameters in tests and
+// benches. Both sides must call it with the same arguments; rank a sends
+// first. The returned value is the modelled point-to-point time.
+func (p *Proc) PingPong(peer int, tag Tag, n int) float64 {
+	return p.model.PointToPointTime(p.rank, peer, n)
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarChart renders a horizontal ASCII bar chart: one row per label, bars
+// scaled so the maximum value spans width characters. Values must be
+// non-negative; the rendered value is appended after each bar.
+func BarChart(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("report: BarChart labels/values length mismatch")
+	}
+	if width < 1 {
+		width = 40
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) {
+			panic(fmt.Sprintf("report: BarChart value %d is %g; must be non-negative", i, v))
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > maxL {
+			maxL = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %g\n", maxL, labels[i], width, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// LogBarChart is like BarChart but scales bar lengths logarithmically, which
+// keeps multi-decade series (56 kbps vs 800 Mbps links) legible. Zero values
+// render as empty bars.
+func LogBarChart(title string, labels []string, values []float64, width int) string {
+	if len(labels) != len(values) {
+		panic("report: LogBarChart labels/values length mismatch")
+	}
+	if width < 1 {
+		width = 40
+	}
+	logs := make([]float64, len(values))
+	minPos := math.Inf(1)
+	for i, v := range values {
+		if v < 0 || math.IsNaN(v) {
+			panic(fmt.Sprintf("report: LogBarChart value %d is %g; must be non-negative", i, v))
+		}
+		if v > 0 && v < minPos {
+			minPos = v
+		}
+	}
+	maxLog := 0.0
+	for i, v := range values {
+		if v > 0 {
+			logs[i] = math.Log10(v/minPos) + 1 // >= 1 for the smallest positive value
+			if logs[i] > maxLog {
+				maxLog = logs[i]
+			}
+		}
+	}
+	maxL := 0
+	for _, l := range labels {
+		if len(l) > maxL {
+			maxL = len(l)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for i, v := range values {
+		n := 0
+		if logs[i] > 0 && maxLog > 0 {
+			n = int(math.Round(logs[i] / maxLog * float64(width)))
+			if n < 1 {
+				n = 1
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%-*s %g\n", maxL, labels[i], width, strings.Repeat("#", n), v)
+	}
+	return b.String()
+}
+
+// Series renders an (x, y) series as two aligned columns, a minimal "figure"
+// format for scaling curves.
+func Series(title, xName, yName string, xs, ys []float64) string {
+	if len(xs) != len(ys) {
+		panic("report: Series xs/ys length mismatch")
+	}
+	t := NewTable(title, xName, yName)
+	t.Aligns = []Align{Right, Right}
+	for i := range xs {
+		t.AddRow(trimFloat(xs[i]), trimFloat(ys[i]))
+	}
+	return t.Render()
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,106 @@
+// Package sim is a minimal discrete-event simulation kernel: a priority
+// queue of timestamped events and a clock. Both the mesh interconnect
+// simulator and the wide-area network simulator are built on it.
+//
+// Events scheduled at the same instant fire in scheduling order (FIFO),
+// which makes simulations deterministic without requiring callers to add
+// epsilon jitter.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // tie-break: FIFO among equal timestamps
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. The zero value is ready to use.
+// Kernel is not safe for concurrent use.
+type Kernel struct {
+	pq   eventHeap
+	now  float64
+	seq  uint64
+	nrun uint64
+}
+
+// Now returns the current simulation time in seconds.
+func (k *Kernel) Now() float64 { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.nrun }
+
+// Pending returns the number of events not yet executed.
+func (k *Kernel) Pending() int { return len(k.pq) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// it always indicates a modelling bug.
+func (k *Kernel) At(t float64, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.pq, event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (k *Kernel) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	k.At(k.now+d, fn)
+}
+
+// Step executes the earliest pending event and returns true, or returns
+// false if the queue is empty.
+func (k *Kernel) Step() bool {
+	if len(k.pq) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.pq).(event)
+	k.now = e.at
+	k.nrun++
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t (if it is ahead of the last event). Events scheduled during execution
+// are honoured if they fall within the horizon.
+func (k *Kernel) RunUntil(t float64) {
+	for len(k.pq) > 0 && k.pq[0].at <= t {
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var k Kernel
+	if k.Now() != 0 || k.Pending() != 0 || k.Processed() != 0 {
+		t.Fatal("zero Kernel not pristine")
+	}
+	if k.Step() {
+		t.Fatal("Step on empty kernel should return false")
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var k Kernel
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		k.At(at, func() { got = append(got, at) })
+	}
+	k.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("final time %g, want 5", k.Now())
+	}
+	if k.Processed() != 5 {
+		t.Fatalf("processed %d, want 5", k.Processed())
+	}
+}
+
+func TestTiesFireFIFO(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(1.0, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order broken: %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var k Kernel
+	var at float64
+	k.At(2, func() {
+		k.After(3, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 5 {
+		t.Fatalf("After fired at %g, want 5", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var k Kernel
+	k.At(5, func() {})
+	k.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past should panic")
+		}
+	}()
+	k.At(1, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	var k Kernel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After should panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var k Kernel
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		if depth < 100 {
+			depth++
+			k.After(1, recurse)
+		}
+	}
+	k.At(0, recurse)
+	k.Run()
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if k.Now() != 100 {
+		t.Fatalf("Now = %g, want 100", k.Now())
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	var k Kernel
+	fired := map[float64]bool{}
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		k.At(at, func() { fired[at] = true })
+	}
+	k.RunUntil(2.5)
+	if !fired[1] || !fired[2] || fired[3] || fired[4] {
+		t.Fatalf("wrong events fired: %v", fired)
+	}
+	if k.Now() != 2.5 {
+		t.Fatalf("Now = %g, want 2.5 (clock advances to horizon)", k.Now())
+	}
+	if k.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", k.Pending())
+	}
+	k.Run()
+	if !fired[3] || !fired[4] {
+		t.Fatal("remaining events lost after RunUntil")
+	}
+}
+
+func TestRunUntilHonoursNewlyScheduled(t *testing.T) {
+	var k Kernel
+	var hit bool
+	k.At(1, func() { k.After(0.5, func() { hit = true }) })
+	k.RunUntil(2)
+	if !hit {
+		t.Fatal("event scheduled during RunUntil within horizon did not fire")
+	}
+}
+
+func TestOrderingPropertyRandomSchedules(t *testing.T) {
+	// Property: for any random set of timestamps, execution order is a
+	// stable sort of the schedule order by time.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var k Kernel
+		n := 50
+		times := make([]float64, n)
+		for i := range times {
+			times[i] = float64(rng.Intn(10)) // many collisions
+		}
+		type rec struct {
+			at  float64
+			idx int
+		}
+		var got []rec
+		for i, at := range times {
+			i, at := i, at
+			k.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		k.Run()
+		if len(got) != n {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if got[i].at < got[i-1].at {
+				return false
+			}
+			if got[i].at == got[i-1].at && got[i].idx < got[i-1].idx {
+				return false // FIFO violated among ties
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,219 @@
+// Package stats provides the small set of summary statistics and fitting
+// routines the benchmark harness needs: means, extrema, standard deviation,
+// ordinary least-squares linear regression (used to fit Hockney r-infinity /
+// n-half communication parameters from ping-pong measurements), and series
+// helpers for parameter sweeps.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by routines that require at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrDegenerate is returned by Fit when the x values do not span an interval.
+var ErrDegenerate = errors.New("stats: degenerate regression (x has no spread)")
+
+// Mean returns the arithmetic mean of xs. It returns 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Min returns the minimum of xs, or an error for an empty slice.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the maximum of xs, or an error for an empty slice.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator) of xs.
+// Slices with fewer than two elements yield 0.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Median returns the median of xs without modifying the input.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Line is a fitted line y = Slope*x + Intercept with its coefficient of
+// determination R2.
+type Line struct {
+	Slope, Intercept, R2 float64
+}
+
+// At evaluates the line at x.
+func (l Line) At(x float64) float64 { return l.Slope*x + l.Intercept }
+
+// Fit performs ordinary least-squares regression of y on x.
+// len(x) must equal len(y) and be at least 2.
+func Fit(x, y []float64) (Line, error) {
+	if len(x) != len(y) {
+		return Line{}, errors.New("stats: Fit length mismatch")
+	}
+	if len(x) < 2 {
+		return Line{}, ErrEmpty
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Line{}, ErrDegenerate
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		// residual sum of squares
+		var rss float64
+		for i := range x {
+			r := y[i] - (slope*x[i] + intercept)
+			rss += r * r
+		}
+		r2 = 1 - rss/syy
+	}
+	return Line{Slope: slope, Intercept: intercept, R2: r2}, nil
+}
+
+// Hockney holds the two-parameter Hockney model of point-to-point
+// communication time: t(n) = Latency + n/BandwidthBps for an n-byte message.
+// NHalf is the message size at which half the asymptotic bandwidth is
+// achieved (n1/2 = Latency * BandwidthBps).
+type Hockney struct {
+	Latency      float64 // seconds (t0)
+	BandwidthBps float64 // bytes per second (r-infinity)
+}
+
+// NHalf returns the half-performance message length in bytes.
+func (h Hockney) NHalf() float64 { return h.Latency * h.BandwidthBps }
+
+// Time returns the modelled transfer time for n bytes.
+func (h Hockney) Time(n float64) float64 {
+	if h.BandwidthBps <= 0 {
+		return h.Latency
+	}
+	return h.Latency + n/h.BandwidthBps
+}
+
+// FitHockney fits the Hockney model to (size, time) ping-pong samples by
+// linear regression of time on message size.
+func FitHockney(sizes, times []float64) (Hockney, error) {
+	l, err := Fit(sizes, times)
+	if err != nil {
+		return Hockney{}, err
+	}
+	if l.Slope <= 0 {
+		return Hockney{}, errors.New("stats: non-positive slope; samples do not look like transfer times")
+	}
+	return Hockney{Latency: l.Intercept, BandwidthBps: 1 / l.Slope}, nil
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive. n must be
+// at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("stats: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Geomspace returns n logarithmically spaced values from lo to hi inclusive.
+// lo and hi must be positive and n at least 2.
+func Geomspace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= 0 {
+		panic("stats: Geomspace needs n >= 2 and positive bounds")
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range out {
+		out[i] = v
+		v *= ratio
+	}
+	out[n-1] = hi
+	return out
+}
+
+// RelErr returns |a-b| / max(|a|,|b|), or 0 when both are 0. It is the
+// symmetric relative error used throughout the validation tests.
+func RelErr(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,223 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanSum(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", m)
+	}
+	if s := Sum(xs); s != 10 {
+		t.Fatalf("Sum = %g, want 10", s)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", m)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatal("Min(nil) should return ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatal("Max(nil) should return ErrEmpty")
+	}
+	mn, _ := Min([]float64{3, -1, 2})
+	mx, _ := Max([]float64{3, -1, 2})
+	if mn != -1 || mx != 3 {
+		t.Fatalf("Min/Max = %g/%g, want -1/3", mn, mx)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// classic example: sample sd of {2,4,4,4,5,5,7,9} is ~2.138
+	sd := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(sd-2.13809) > 1e-4 {
+		t.Fatalf("StdDev = %g, want ~2.138", sd)
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("StdDev of single sample should be 0")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Fatal("Median(nil) should error")
+	}
+	m, _ := Median([]float64{5, 1, 3})
+	if m != 3 {
+		t.Fatalf("odd Median = %g, want 3", m)
+	}
+	m, _ = Median([]float64{4, 1, 3, 2})
+	if m != 2.5 {
+		t.Fatalf("even Median = %g, want 2.5", m)
+	}
+	// Median must not reorder its input.
+	in := []float64{9, 1, 5}
+	Median(in)
+	if in[0] != 9 || in[1] != 1 || in[2] != 5 {
+		t.Fatal("Median modified its input")
+	}
+}
+
+func TestFitExactLine(t *testing.T) {
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 3, 5, 7} // y = 2x+1
+	l, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l.Slope-2) > 1e-12 || math.Abs(l.Intercept-1) > 1e-12 {
+		t.Fatalf("Fit = %+v, want slope 2 intercept 1", l)
+	}
+	if math.Abs(l.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %g, want 1", l.R2)
+	}
+	if got := l.At(10); math.Abs(got-21) > 1e-12 {
+		t.Fatalf("At(10) = %g, want 21", got)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("Fit with one point should error")
+	}
+	if _, err := Fit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("Fit with mismatched lengths should error")
+	}
+	if _, err := Fit([]float64{2, 2, 2}, []float64{1, 2, 3}); err != ErrDegenerate {
+		t.Fatal("Fit with constant x should return ErrDegenerate")
+	}
+}
+
+func TestFitRecoversLineProperty(t *testing.T) {
+	// Property: for any non-degenerate slope/intercept, fitting exact
+	// samples of the line recovers the parameters.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		// keep magnitudes sane to avoid float overflow in the check
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		x := []float64{1, 2, 5, 9}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = a*x[i] + b
+		}
+		l, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+		return math.Abs(l.Slope-a) < 1e-6*scale && math.Abs(l.Intercept-b) < 1e-6*scale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHockneyModel(t *testing.T) {
+	h := Hockney{Latency: 75e-6, BandwidthBps: 10e6}
+	if math.Abs(h.NHalf()-750) > 1e-9 {
+		t.Fatalf("NHalf = %g, want 750 bytes", h.NHalf())
+	}
+	// At n = n1/2 the achieved bandwidth is half of r-infinity.
+	n := h.NHalf()
+	achieved := n / h.Time(n)
+	if math.Abs(achieved-h.BandwidthBps/2) > 1 {
+		t.Fatalf("achieved bw at n1/2 = %g, want %g", achieved, h.BandwidthBps/2)
+	}
+}
+
+func TestFitHockney(t *testing.T) {
+	truth := Hockney{Latency: 50e-6, BandwidthBps: 8e6}
+	sizes := []float64{64, 256, 1024, 8192, 65536}
+	times := make([]float64, len(sizes))
+	for i, s := range sizes {
+		times[i] = truth.Time(s)
+	}
+	got, err := FitHockney(sizes, times)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if RelErr(got.Latency, truth.Latency) > 1e-6 {
+		t.Fatalf("latency = %g, want %g", got.Latency, truth.Latency)
+	}
+	if RelErr(got.BandwidthBps, truth.BandwidthBps) > 1e-6 {
+		t.Fatalf("bandwidth = %g, want %g", got.BandwidthBps, truth.BandwidthBps)
+	}
+}
+
+func TestFitHockneyRejectsNonsense(t *testing.T) {
+	// Times shrinking with size cannot be transfer times.
+	if _, err := FitHockney([]float64{1, 2, 3}, []float64{3, 2, 1}); err == nil {
+		t.Fatal("FitHockney should reject negative-slope samples")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-12 {
+			t.Fatalf("Linspace[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestGeomspace(t *testing.T) {
+	xs := Geomspace(1, 16, 5)
+	want := []float64{1, 2, 4, 8, 16}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-9 {
+			t.Fatalf("Geomspace[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestLinspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Linspace(0,1,1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestGeomspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geomspace with non-positive bound should panic")
+		}
+	}()
+	Geomspace(0, 1, 3)
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(0, 0) != 0 {
+		t.Fatal("RelErr(0,0) != 0")
+	}
+	if e := RelErr(10, 11); math.Abs(e-1.0/11) > 1e-12 {
+		t.Fatalf("RelErr(10,11) = %g", e)
+	}
+	if RelErr(5, 5) != 0 {
+		t.Fatal("RelErr(5,5) != 0")
+	}
+}
+
+func TestRelErrSymmetricProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		return RelErr(a, b) == RelErr(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

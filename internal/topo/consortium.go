@@ -1,0 +1,92 @@
+package topo
+
+// LinkClass is a 1992 wide-area link technology with its line rate. The six
+// classes are exactly those in the paper's Delta Consortium network figure.
+type LinkClass struct {
+	Name string
+	Mbps float64
+}
+
+// Bps returns the line rate in bits per second.
+func (c LinkClass) Bps() float64 { return c.Mbps * 1e6 }
+
+// BytesPerSec returns the line rate in bytes per second.
+func (c LinkClass) BytesPerSec() float64 { return c.Mbps * 1e6 / 8 }
+
+// Link classes from the consortium figure ("CSC Network Connections").
+var (
+	NSFnetT1   = LinkClass{"NSFnet T1", 1.544}
+	NSFnetT3   = LinkClass{"NSFnet T3", 44.736}
+	ESnetT1    = LinkClass{"ESnet T1", 1.544}
+	CASAHippi  = LinkClass{"CASA HIPPI/SONET", 800}
+	RegionalT1 = LinkClass{"Regional T1", 1.544}
+	Regional56 = LinkClass{"Regional 56 kbps", 0.056}
+)
+
+// Classes lists all consortium link classes in figure order.
+func Classes() []LinkClass {
+	return []LinkClass{NSFnetT1, NSFnetT3, ESnetT1, CASAHippi, RegionalT1, Regional56}
+}
+
+// Consortium site names. Caltech hosts the Delta; the CASA gigabit testbed
+// joins Caltech, JPL, SDSC and Los Alamos over HIPPI/SONET; the remaining
+// partners reach the machine over NSFnet, ESnet and regional tails.
+const (
+	SiteCaltech  = "Caltech"     // Delta host, CSC lead site
+	SiteJPL      = "JPL"         // Jet Propulsion Laboratory
+	SiteSDSC     = "SDSC"        // San Diego Supercomputer Center
+	SiteLANL     = "Los Alamos"  // DOE laboratory, CASA partner
+	SiteNSFnet   = "NSFnet core" // backbone attachment point
+	SiteESnet    = "ESnet core"  // DOE network attachment point
+	SiteRice     = "Rice (CRPC)" // Center for Research on Parallel Computation, lead institution
+	SiteDARPA    = "DARPA"
+	SiteNASA     = "NASA Ames"
+	SiteIntel    = "Intel SSD" // Intel Supercomputer Systems Division
+	SitePurdue   = "Purdue"
+	SiteRegional = "Regional member"
+)
+
+// Consortium builds the Delta Consortium network of the paper's figure.
+// The paper's own caption notes the topology is "simplified to better
+// illustrate connectivity between CSC sites"; this reconstruction uses the
+// figure's six link classes and the named partners, with propagation
+// delays set by rough geography (5 ms per ~1000 km).
+func Consortium() *Graph {
+	g := NewGraph()
+	add := func(a, b string, c LinkClass, delay float64) {
+		g.AddLink(a, b, c.BytesPerSec(), delay, c.Name)
+	}
+
+	// CASA gigabit testbed: HIPPI/SONET ring segments in the Southwest.
+	add(SiteCaltech, SiteJPL, CASAHippi, 0.1e-3) // ~20 km
+	add(SiteCaltech, SiteSDSC, CASAHippi, 1e-3)  // ~200 km
+	add(SiteSDSC, SiteLANL, CASAHippi, 5e-3)     // ~1000 km
+	add(SiteJPL, SiteLANL, CASAHippi, 5e-3)
+
+	// NSFnet backbone: T3 trunk to the Delta site, T1 tails elsewhere.
+	add(SiteCaltech, SiteNSFnet, NSFnetT3, 2e-3)
+	add(SiteNSFnet, SiteRice, NSFnetT1, 7e-3)
+	add(SiteNSFnet, SiteDARPA, NSFnetT1, 12e-3)
+	add(SiteNSFnet, SiteNASA, NSFnetT1, 2e-3)
+	add(SiteNSFnet, SitePurdue, NSFnetT1, 9e-3)
+	add(SiteNSFnet, SiteIntel, NSFnetT1, 5e-3)
+
+	// ESnet: DOE attachment for Los Alamos.
+	add(SiteESnet, SiteLANL, ESnetT1, 3e-3)
+	add(SiteESnet, SiteCaltech, ESnetT1, 4e-3)
+
+	// Regional connections.
+	add(SiteCaltech, SiteRegional, Regional56, 1e-3)
+	add(SiteJPL, SiteNSFnet, RegionalT1, 2e-3)
+
+	return g
+}
+
+// ConsortiumSites lists the named sites in a stable report order.
+func ConsortiumSites() []string {
+	return []string{
+		SiteCaltech, SiteJPL, SiteSDSC, SiteLANL,
+		SiteNSFnet, SiteESnet, SiteRice, SiteDARPA,
+		SiteNASA, SiteIntel, SitePurdue, SiteRegional,
+	}
+}

@@ -1,0 +1,170 @@
+// Package topo provides the weighted-graph machinery and the Concurrent
+// Supercomputing Consortium network dataset used by the wide-area network
+// simulator: sites, link classes with 1992 bandwidths (56 kbps regional
+// tails through 800 Mbps CASA HIPPI/SONET), and shortest-path routing.
+package topo
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Edge is one directed link of a Graph.
+type Edge struct {
+	From, To     int
+	BandwidthBps float64
+	DelaySec     float64
+	Label        string // link class, e.g. "NSFnet T3"
+}
+
+// Graph is a directed multigraph with named nodes. Use AddLink for the
+// bidirectional links of the consortium network.
+type Graph struct {
+	names []string
+	index map[string]int
+	adj   [][]Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// AddNode inserts a node and returns its id; adding an existing name
+// returns the existing id.
+func (g *Graph) AddNode(name string) int {
+	if id, ok := g.index[name]; ok {
+		return id
+	}
+	id := len(g.names)
+	g.names = append(g.names, name)
+	g.index[name] = id
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// NodeID returns the id of a named node.
+func (g *Graph) NodeID(name string) (int, bool) {
+	id, ok := g.index[name]
+	return id, ok
+}
+
+// Name returns the name of node id.
+func (g *Graph) Name(id int) string { return g.names[id] }
+
+// Nodes returns the number of nodes.
+func (g *Graph) Nodes() int { return len(g.names) }
+
+// NodeNames returns all node names in insertion order.
+func (g *Graph) NodeNames() []string {
+	return append([]string(nil), g.names...)
+}
+
+// AddLink adds a bidirectional link between two named nodes (created if
+// absent) with the given bandwidth, propagation delay and class label.
+func (g *Graph) AddLink(a, b string, bwBps, delaySec float64, label string) {
+	if bwBps <= 0 || delaySec < 0 {
+		panic(fmt.Sprintf("topo: invalid link %s-%s (bw %g, delay %g)", a, b, bwBps, delaySec))
+	}
+	ai, bi := g.AddNode(a), g.AddNode(b)
+	if ai == bi {
+		panic("topo: self-link")
+	}
+	g.adj[ai] = append(g.adj[ai], Edge{From: ai, To: bi, BandwidthBps: bwBps, DelaySec: delaySec, Label: label})
+	g.adj[bi] = append(g.adj[bi], Edge{From: bi, To: ai, BandwidthBps: bwBps, DelaySec: delaySec, Label: label})
+}
+
+// Edges returns the out-edges of node id.
+func (g *Graph) Edges(id int) []Edge { return g.adj[id] }
+
+// AllEdges returns every directed edge.
+func (g *Graph) AllEdges() []Edge {
+	var out []Edge
+	for _, es := range g.adj {
+		out = append(out, es...)
+	}
+	return out
+}
+
+// ErrNoPath reports that two nodes are not connected.
+var ErrNoPath = errors.New("topo: no path")
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// ShortestPath returns the minimum-cost path between two named nodes as a
+// sequence of edges, using Dijkstra's algorithm. The cost of an edge is its
+// propagation delay plus the serialization time of refBytes at its
+// bandwidth, which makes low-bandwidth tails expensive — the routing metric
+// a 1992 transfer would effectively experience. refBytes may be 0 for pure
+// delay routing.
+func (g *Graph) ShortestPath(src, dst string, refBytes float64) ([]Edge, error) {
+	si, ok := g.index[src]
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown node %q", src)
+	}
+	di, ok := g.index[dst]
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown node %q", dst)
+	}
+	if si == di {
+		return nil, nil
+	}
+	dist := make([]float64, g.Nodes())
+	prev := make([]Edge, g.Nodes())
+	seen := make([]bool, g.Nodes())
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[si] = 0
+	q := &pq{{si, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if seen[it.node] {
+			continue
+		}
+		seen[it.node] = true
+		if it.node == di {
+			break
+		}
+		for _, e := range g.adj[it.node] {
+			cost := e.DelaySec + refBytes/e.BandwidthBps
+			if nd := dist[it.node] + cost; nd < dist[e.To] {
+				dist[e.To] = nd
+				prev[e.To] = e
+				heap.Push(q, pqItem{e.To, nd})
+			}
+		}
+	}
+	if !seen[di] {
+		return nil, fmt.Errorf("%w between %q and %q", ErrNoPath, src, dst)
+	}
+	var path []Edge
+	for at := di; at != si; at = prev[at].From {
+		path = append(path, prev[at])
+	}
+	// reverse
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}

@@ -1,0 +1,194 @@
+package topo
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("x")
+	b := g.AddNode("x")
+	if a != b {
+		t.Fatalf("AddNode not idempotent: %d vs %d", a, b)
+	}
+	if g.Nodes() != 1 {
+		t.Fatalf("nodes = %d", g.Nodes())
+	}
+	if id, ok := g.NodeID("x"); !ok || id != a {
+		t.Fatal("NodeID lookup failed")
+	}
+	if _, ok := g.NodeID("missing"); ok {
+		t.Fatal("NodeID found missing node")
+	}
+	if g.Name(a) != "x" {
+		t.Fatal("Name wrong")
+	}
+}
+
+func TestAddLinkBidirectional(t *testing.T) {
+	g := NewGraph()
+	g.AddLink("a", "b", 1e6, 1e-3, "test")
+	ai, _ := g.NodeID("a")
+	bi, _ := g.NodeID("b")
+	if len(g.Edges(ai)) != 1 || len(g.Edges(bi)) != 1 {
+		t.Fatal("link not bidirectional")
+	}
+	if g.Edges(ai)[0].To != bi || g.Edges(bi)[0].To != ai {
+		t.Fatal("edge endpoints wrong")
+	}
+	if len(g.AllEdges()) != 2 {
+		t.Fatalf("AllEdges = %d, want 2", len(g.AllEdges()))
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	g := NewGraph()
+	for _, fn := range []func(){
+		func() { g.AddLink("a", "b", 0, 1e-3, "") },
+		func() { g.AddLink("a", "b", 1e6, -1, "") },
+		func() { g.AddLink("a", "a", 1e6, 1e-3, "") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShortestPathDirect(t *testing.T) {
+	g := NewGraph()
+	g.AddLink("a", "b", 1e6, 1e-3, "l1")
+	path, err := g.ShortestPath("a", "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 1 || path[0].Label != "l1" {
+		t.Fatalf("path = %+v", path)
+	}
+}
+
+func TestShortestPathPrefersLowDelay(t *testing.T) {
+	g := NewGraph()
+	g.AddLink("a", "b", 1e6, 10e-3, "slow-direct")
+	g.AddLink("a", "m", 1e6, 1e-3, "hop1")
+	g.AddLink("m", "b", 1e6, 1e-3, "hop2")
+	path, err := g.ShortestPath("a", "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("should prefer 2-hop low-delay route, got %+v", path)
+	}
+}
+
+func TestShortestPathBandwidthAwareMetric(t *testing.T) {
+	// With a large reference transfer, a fat two-hop path beats a thin
+	// direct link even at higher propagation delay.
+	g := NewGraph()
+	g.AddLink("a", "b", 56e3/8, 1e-3, "thin")   // 56 kbps direct
+	g.AddLink("a", "m", 800e6/8, 10e-3, "fat1") // HIPPI detour
+	g.AddLink("m", "b", 800e6/8, 10e-3, "fat2")
+	pathSmall, err := g.ShortestPath("a", "b", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathSmall) != 1 {
+		t.Fatalf("zero-byte routing should take the direct link, got %+v", pathSmall)
+	}
+	pathBig, err := g.ShortestPath("a", "b", 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pathBig) != 2 {
+		t.Fatalf("bulk routing should take the fat detour, got %+v", pathBig)
+	}
+}
+
+func TestShortestPathErrors(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a")
+	g.AddNode("b") // disconnected
+	if _, err := g.ShortestPath("a", "zzz", 0); err == nil {
+		t.Fatal("unknown node should error")
+	}
+	_, err := g.ShortestPath("a", "b", 0)
+	if !errors.Is(err, ErrNoPath) {
+		t.Fatalf("want ErrNoPath, got %v", err)
+	}
+	if p, err := g.ShortestPath("a", "a", 0); err != nil || p != nil {
+		t.Fatal("self path should be empty and error-free")
+	}
+}
+
+func TestLinkClassRates(t *testing.T) {
+	if math.Abs(NSFnetT3.Bps()-44.736e6) > 1 {
+		t.Fatalf("T3 = %g bps", NSFnetT3.Bps())
+	}
+	if math.Abs(CASAHippi.BytesPerSec()-1e8) > 1 {
+		t.Fatalf("HIPPI = %g B/s, want 1e8", CASAHippi.BytesPerSec())
+	}
+	if len(Classes()) != 6 {
+		t.Fatalf("want the figure's 6 link classes, got %d", len(Classes()))
+	}
+	// Ratio the paper's figure implies: HIPPI is ~518x a T1.
+	ratio := CASAHippi.Mbps / NSFnetT1.Mbps
+	if ratio < 500 || ratio > 540 {
+		t.Fatalf("HIPPI/T1 ratio = %g", ratio)
+	}
+}
+
+func TestConsortiumConnectivity(t *testing.T) {
+	g := Consortium()
+	sites := ConsortiumSites()
+	if g.Nodes() != len(sites) {
+		t.Fatalf("graph has %d nodes, site list has %d", g.Nodes(), len(sites))
+	}
+	// every pair of sites must be reachable
+	for _, a := range sites {
+		for _, b := range sites {
+			if a == b {
+				continue
+			}
+			if _, err := g.ShortestPath(a, b, 0); err != nil {
+				t.Fatalf("no path %s -> %s: %v", a, b, err)
+			}
+		}
+	}
+}
+
+func TestConsortiumUsesAllSixClasses(t *testing.T) {
+	g := Consortium()
+	seen := map[string]bool{}
+	for _, e := range g.AllEdges() {
+		seen[e.Label] = true
+	}
+	for _, c := range Classes() {
+		if !seen[c.Name] {
+			t.Errorf("link class %q missing from consortium topology", c.Name)
+		}
+	}
+}
+
+func TestConsortiumCASABackbone(t *testing.T) {
+	// The CASA testbed sites must reach each other entirely over HIPPI.
+	g := Consortium()
+	for _, pair := range [][2]string{
+		{SiteCaltech, SiteJPL}, {SiteCaltech, SiteSDSC}, {SiteSDSC, SiteLANL},
+	} {
+		path, err := g.ShortestPath(pair[0], pair[1], 10e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range path {
+			if e.Label != CASAHippi.Name {
+				t.Fatalf("%s -> %s bulk route uses %q, want HIPPI only", pair[0], pair[1], e.Label)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package trace records per-process virtual-time activity during a
+// simulated run: which phase (compute, send, receive-wait) each node was in
+// and for how long. The runtime writes records; reports aggregate them into
+// utilization figures and Gantt-style renderings.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Phase labels a span of node activity.
+type Phase int
+
+// Phases recorded by the runtime.
+const (
+	PhaseCompute Phase = iota
+	PhaseSend
+	PhaseRecvWait
+	numPhases
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseSend:
+		return "send"
+	case PhaseRecvWait:
+		return "recv"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Record is one activity span on one process.
+type Record struct {
+	Proc  int
+	Phase Phase
+	Span  vtime.Span
+}
+
+// Recorder collects records. Each simulated process must append only from
+// its own goroutine via a ProcView; Recorder merges them at the end, so no
+// locking is needed on the hot path.
+type Recorder struct {
+	perProc [][]Record
+}
+
+// NewRecorder creates a Recorder for n processes.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{perProc: make([][]Record, n)}
+}
+
+// Proc returns the single-goroutine view for process rank.
+func (r *Recorder) Proc(rank int) *ProcView {
+	return &ProcView{rec: r, rank: rank}
+}
+
+// ProcView appends records for one process; it must be used only from that
+// process's goroutine.
+type ProcView struct {
+	rec  *Recorder
+	rank int
+}
+
+// Add records a span of the given phase. Zero-duration spans are dropped.
+func (v *ProcView) Add(p Phase, start, end float64) {
+	if v == nil || v.rec == nil || end <= start {
+		return
+	}
+	v.rec.perProc[v.rank] = append(v.rec.perProc[v.rank],
+		Record{Proc: v.rank, Phase: p, Span: vtime.Span{Start: start, End: end}})
+}
+
+// Records returns all records sorted by (proc, start time).
+func (r *Recorder) Records() []Record {
+	var out []Record
+	for _, rs := range r.perProc {
+		out = append(out, rs...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Span.Start < out[j].Span.Start
+	})
+	return out
+}
+
+// PhaseTotals sums span durations by phase for one process rank, or across
+// all processes if rank is negative.
+func (r *Recorder) PhaseTotals(rank int) map[Phase]float64 {
+	totals := make(map[Phase]float64, numPhases)
+	for p, rs := range r.perProc {
+		if rank >= 0 && p != rank {
+			continue
+		}
+		for _, rec := range rs {
+			totals[rec.Phase] += rec.Span.Duration()
+		}
+	}
+	return totals
+}
+
+// Utilization returns the fraction of the makespan each process spent in
+// PhaseCompute. makespan must be positive.
+func (r *Recorder) Utilization(makespan float64) []float64 {
+	out := make([]float64, len(r.perProc))
+	if makespan <= 0 {
+		return out
+	}
+	for p, rs := range r.perProc {
+		var busy float64
+		for _, rec := range rs {
+			if rec.Phase == PhaseCompute {
+				busy += rec.Span.Duration()
+			}
+		}
+		out[p] = busy / makespan
+	}
+	return out
+}
+
+// Gantt renders an ASCII timeline of the first maxProcs processes over
+// [0, makespan) with the given width in characters: 'C' compute, 'S' send,
+// 'R' receive-wait, '.' idle. Later records overwrite earlier ones within a
+// cell, which is fine at the resolutions used in reports.
+func (r *Recorder) Gantt(makespan float64, width, maxProcs int) string {
+	if width < 1 {
+		width = 60
+	}
+	n := len(r.perProc)
+	if maxProcs > 0 && n > maxProcs {
+		n = maxProcs
+	}
+	var b strings.Builder
+	glyph := map[Phase]byte{PhaseCompute: 'C', PhaseSend: 'S', PhaseRecvWait: 'R'}
+	for p := 0; p < n; p++ {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		if makespan > 0 {
+			for _, rec := range r.perProc[p] {
+				lo := int(rec.Span.Start / makespan * float64(width))
+				hi := int(rec.Span.End / makespan * float64(width))
+				if hi >= width {
+					hi = width - 1
+				}
+				for i := lo; i <= hi && i >= 0; i++ {
+					row[i] = glyph[rec.Phase]
+				}
+			}
+		}
+		fmt.Fprintf(&b, "P%03d |%s|\n", p, row)
+	}
+	return b.String()
+}

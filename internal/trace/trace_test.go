@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhaseString(t *testing.T) {
+	if PhaseCompute.String() != "compute" || PhaseSend.String() != "send" || PhaseRecvWait.String() != "recv" {
+		t.Fatal("phase names wrong")
+	}
+	if Phase(42).String() != "Phase(42)" {
+		t.Fatal("unknown phase name wrong")
+	}
+}
+
+func TestRecorderCollects(t *testing.T) {
+	r := NewRecorder(2)
+	r.Proc(0).Add(PhaseCompute, 0, 1)
+	r.Proc(1).Add(PhaseSend, 0.5, 0.75)
+	r.Proc(0).Add(PhaseRecvWait, 1, 1.5)
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// sorted by proc then start
+	if recs[0].Proc != 0 || recs[1].Proc != 0 || recs[2].Proc != 1 {
+		t.Fatalf("records not sorted by proc: %+v", recs)
+	}
+	if recs[0].Span.Start > recs[1].Span.Start {
+		t.Fatal("records not sorted by start within proc")
+	}
+}
+
+func TestZeroDurationDropped(t *testing.T) {
+	r := NewRecorder(1)
+	r.Proc(0).Add(PhaseCompute, 1, 1)
+	r.Proc(0).Add(PhaseCompute, 2, 1) // inverted: dropped too
+	if len(r.Records()) != 0 {
+		t.Fatal("zero/negative duration spans should be dropped")
+	}
+}
+
+func TestNilProcViewSafe(t *testing.T) {
+	var v *ProcView
+	v.Add(PhaseCompute, 0, 1) // must not panic
+}
+
+func TestPhaseTotals(t *testing.T) {
+	r := NewRecorder(2)
+	r.Proc(0).Add(PhaseCompute, 0, 2)
+	r.Proc(0).Add(PhaseSend, 2, 3)
+	r.Proc(1).Add(PhaseCompute, 0, 4)
+
+	all := r.PhaseTotals(-1)
+	if math.Abs(all[PhaseCompute]-6) > 1e-12 {
+		t.Fatalf("total compute = %g, want 6", all[PhaseCompute])
+	}
+	if math.Abs(all[PhaseSend]-1) > 1e-12 {
+		t.Fatalf("total send = %g, want 1", all[PhaseSend])
+	}
+	p0 := r.PhaseTotals(0)
+	if math.Abs(p0[PhaseCompute]-2) > 1e-12 {
+		t.Fatalf("p0 compute = %g, want 2", p0[PhaseCompute])
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r := NewRecorder(2)
+	r.Proc(0).Add(PhaseCompute, 0, 5)
+	r.Proc(1).Add(PhaseCompute, 0, 2.5)
+	u := r.Utilization(5)
+	if math.Abs(u[0]-1.0) > 1e-12 || math.Abs(u[1]-0.5) > 1e-12 {
+		t.Fatalf("utilization = %v, want [1 0.5]", u)
+	}
+	if u := r.Utilization(0); u[0] != 0 {
+		t.Fatal("zero makespan should give zero utilization")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := NewRecorder(3)
+	r.Proc(0).Add(PhaseCompute, 0, 10)
+	r.Proc(1).Add(PhaseRecvWait, 0, 5)
+	r.Proc(1).Add(PhaseCompute, 5, 10)
+	out := r.Gantt(10, 20, 2) // only first 2 procs
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "C") {
+		t.Fatalf("P0 row missing compute glyphs: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "R") || !strings.Contains(lines[1], "C") {
+		t.Fatalf("P1 row missing phases: %q", lines[1])
+	}
+	// row 1 should start with R and end with C
+	bar := lines[1][strings.Index(lines[1], "|")+1 : strings.LastIndex(lines[1], "|")]
+	if bar[0] != 'R' || bar[len(bar)-1] != 'C' {
+		t.Fatalf("P1 phase layout wrong: %q", bar)
+	}
+}
+
+func TestGanttEmptyRecorder(t *testing.T) {
+	r := NewRecorder(1)
+	out := r.Gantt(0, 10, 0)
+	if !strings.Contains(out, "....") {
+		t.Fatalf("empty recorder should render idle row: %q", out)
+	}
+}
