@@ -9,7 +9,10 @@
 package repro_test
 
 import (
+	"context"
+	"io"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/agency"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/apps/nbody"
 	"repro/internal/apps/shallow"
 	"repro/internal/apps/stencil"
+	"repro/internal/core"
 	"repro/internal/funding"
 	"repro/internal/linpack"
 	"repro/internal/machine"
@@ -498,6 +502,36 @@ func BenchmarkAblationLinkUpgrade(b *testing.B) {
 				dur = f.Duration()
 			}
 			b.ReportMetric(dur, "transfer-s")
+		})
+	}
+}
+
+// BenchmarkReportParallel regenerates the full report (quick mode, all
+// seven exhibits) through the harness sweep engine at one worker and at
+// one worker per host core. The output is byte-identical either way; the
+// wall-clock gap is the sweep engine's speedup over the sequential path.
+func BenchmarkReportParallel(b *testing.B) {
+	ctx := context.Background()
+	counts := []int{1, 2, runtime.NumCPU()}
+	seen := map[int]bool{}
+	var sweep []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			sweep = append(sweep, w)
+		}
+	}
+	for _, workers := range sweep {
+		workers := workers
+		b.Run(benchName("j", workers), func(b *testing.B) {
+			p := core.NewProgram()
+			p.Quick = true
+			for i := 0; i < b.N; i++ {
+				if err := p.WriteReportJobs(ctx, io.Discard, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(workers), "workers")
 		})
 	}
 }

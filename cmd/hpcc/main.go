@@ -1,0 +1,24 @@
+// Command hpcc is the single front door to the HPCC reproduction: it
+// lists, runs and sweeps every registered workload — the paper exhibits
+// E1-E7, the Grand Challenge kernels, the LINPACK and NREN experiments —
+// and carries the legacy single-purpose tools as subcommands.
+//
+// Usage:
+//
+//	hpcc report [-quick] [-j N] [-e E4] [-json]
+//	hpcc list [-json]
+//	hpcc run <workload-id> [-quick] [-seed S] [-p name=value] [-json]
+//	hpcc sweep [-ids a,b,c] [-j N] [-json]
+//	hpcc sweep -param nb -values 4,8,16 linpack/delta
+//	hpcc linpack | nren | delta | funding   # the old binaries
+package main
+
+import (
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,72 @@
+package stencil
+
+import (
+	"context"
+
+	"repro/internal/harness"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+// The CFD relaxation kernel as a registry workload: a 2D block-decomposed
+// Jacobi sweep on the Delta model, the aerosciences consortium's
+// building block.
+func init() {
+	harness.MustRegister(harness.Spec{
+		WorkloadID: "app/cfd-stencil",
+		Desc:       "CFD relaxation kernel (2D Jacobi) on the Delta model",
+		Space: []harness.Param{
+			{Name: "n", Default: "512", Doc: "grid edge (n x n interior cells)"},
+			{Name: "iters", Default: "20", Doc: "Jacobi iterations"},
+			{Name: "pr", Default: "8", Doc: "process grid rows"},
+			{Name: "pc", Default: "8", Doc: "process grid columns"},
+		},
+		RunFunc: runWorkload,
+	})
+}
+
+func runWorkload(ctx context.Context, p harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	defN, defIters := 512, 20
+	if p.Quick {
+		defN, defIters = 128, 5
+	}
+	n, err := p.Int("n", defN)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	iters, err := p.Int("iters", defIters)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	pr, err := p.Int("pr", 8)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	pc, err := p.Int("pc", 8)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	out, err := RunDistributed2D(Config2D{
+		NX: n, NY: n, Iters: iters, PR: pr, PC: pc,
+		Model: machine.Delta(), Phantom: true,
+	})
+	if err != nil {
+		return harness.Result{}, err
+	}
+	t := report.NewTable(report.Cellf("CFD stencil, %dx%d grid on %dx%d processes", n, n, pr, pc),
+		"Quantity", "Value")
+	t.AddRow("Grid", report.Cellf("%d x %d", n, n))
+	t.AddRow("Iterations", report.Cellf("%d", iters))
+	t.AddRow("Processes", report.Cellf("%d", pr*pc))
+	t.AddRow("Simulated time", report.Cellf("%.4f s", out.Time))
+	res := harness.Result{
+		Title: "CFD relaxation kernel",
+		Text:  t.Render(),
+	}
+	res.AddMetric("simulated-s", out.Time, "s")
+	res.AddMetric("procs", float64(pr*pc), "")
+	return res, nil
+}

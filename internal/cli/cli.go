@@ -1,0 +1,92 @@
+// Package cli implements the hpcc command: one front door to every
+// workload in the registry — the paper exhibits, the Grand Challenge
+// kernels, the LINPACK and NREN experiments — plus the legacy
+// single-purpose tools as subcommands.
+//
+//	hpcc report             # every exhibit, across host cores
+//	hpcc list               # the workload catalog
+//	hpcc run linpack/delta  # one workload
+//	hpcc sweep -ids E1,E4   # a portfolio slice
+//	hpcc linpack -sweep nb  # the old linpack binary
+//	hpcc nren -storm        # the old nrensim binary
+//	hpcc delta              # the old deltasim binary
+//	hpcc funding            # the old funding binary
+package cli
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+
+	// Register every workload family with the default registry.
+	_ "repro/internal/apps/cg"
+	_ "repro/internal/apps/ep"
+	_ "repro/internal/apps/nbody"
+	_ "repro/internal/apps/shallow"
+	_ "repro/internal/apps/stencil"
+	_ "repro/internal/core"
+	_ "repro/internal/linpack"
+	_ "repro/internal/mesh"
+	_ "repro/internal/nren"
+)
+
+// command is one hpcc subcommand.
+type command struct {
+	name    string
+	summary string
+	run     func(ctx context.Context, args []string, stdout, stderr io.Writer) error
+}
+
+func commands() []command {
+	return []command{
+		{"report", "regenerate every paper exhibit (parallel, deterministic output)", cmdReport},
+		{"list", "list the registered workloads and their parameters", cmdList},
+		{"run", "run one workload by ID", cmdRun},
+		{"sweep", "run a set of workloads, or one workload over parameter values", cmdSweep},
+		{"linpack", "LINPACK benchmark and parameter sweeps (legacy tool)", cmdLinpack},
+		{"nren", "consortium network experiments (legacy tool)", cmdNren},
+		{"delta", "Delta mesh interconnect characterization (legacy tool)", cmdDelta},
+		{"funding", "federal HPCC budget tables and analytics (legacy tool)", cmdFunding},
+	}
+}
+
+// Main dispatches the hpcc command line and returns the process exit code.
+func Main(args []string, stdout, stderr io.Writer) int {
+	return MainContext(context.Background(), args, stdout, stderr)
+}
+
+// MainContext is Main with a caller-supplied context, so tests and hosts
+// can cancel long sweeps.
+func MainContext(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "-help" || args[0] == "--help" {
+		usage(stderr)
+		if len(args) == 0 {
+			return 2
+		}
+		return 0
+	}
+	name := args[0]
+	for _, c := range commands() {
+		if c.name == name {
+			if err := c.run(ctx, args[1:], stdout, stderr); err != nil {
+				fmt.Fprintln(stderr, "hpcc:", err)
+				return 1
+			}
+			return 0
+		}
+	}
+	fmt.Fprintf(stderr, "hpcc: unknown command %q\n\n", name)
+	usage(stderr)
+	return 2
+}
+
+func usage(w io.Writer) {
+	var b strings.Builder
+	b.WriteString("usage: hpcc <command> [flags]\n\ncommands:\n")
+	for _, c := range commands() {
+		fmt.Fprintf(&b, "  %-8s %s\n", c.name, c.summary)
+	}
+	b.WriteString("\nrun 'hpcc <command> -h' for command flags\n")
+	io.WriteString(w, b.String())
+}

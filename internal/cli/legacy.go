@@ -1,0 +1,202 @@
+package cli
+
+// The pre-registry single-purpose binaries (linpack, nrensim, deltasim,
+// funding) live on as subcommands with their original flags, so existing
+// invocations keep working with "hpcc " prepended.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/agency"
+	"repro/internal/funding"
+	"repro/internal/harness"
+	"repro/internal/linpack"
+	"repro/internal/machine"
+	"repro/internal/report"
+)
+
+func cmdLinpack(_ context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc linpack", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 25000, "matrix order")
+	nb := fs.Int("nb", 16, "block size")
+	pr := fs.Int("pr", 16, "process grid rows")
+	pc := fs.Int("pc", 33, "process grid columns")
+	sweep := fs.String("sweep", "", "sweep a parameter: n, nb, grid or machines")
+	real := fs.Bool("real", false, "real numerics (small N) with residual check")
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+
+	model := machine.Delta()
+	base := linpack.Config{
+		N: *n, NB: *nb, GridRows: *pr, GridCols: *pc,
+		Model: model, Phantom: !*real, Seed: 1992,
+	}
+
+	switch *sweep {
+	case "":
+		out, err := linpack.Run(base)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, linpack.Table("LINPACK", []linpack.Point{{Config: base, Outcome: out}}).Render())
+		if *real {
+			fmt.Fprintf(stdout, "normalized residual: %.3f\n", out.Residual)
+		}
+	case "n":
+		var cfgs []linpack.Config
+		for _, nn := range []int{2000, 5000, 10000, 15000, 20000, 25000} {
+			c := base
+			c.N = nn
+			cfgs = append(cfgs, c)
+		}
+		pts, err := linpack.Sweep(cfgs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, linpack.Table("LINPACK GFLOPS vs matrix order (Delta model)", pts).Render())
+	case "nb":
+		var cfgs []linpack.Config
+		for _, b := range []int{4, 8, 16, 32, 64} {
+			c := base
+			c.NB = b
+			cfgs = append(cfgs, c)
+		}
+		pts, err := linpack.Sweep(cfgs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, linpack.Table("LINPACK GFLOPS vs block size (Delta model)", pts).Render())
+	case "grid":
+		var cfgs []linpack.Config
+		for _, g := range [][2]int{{1, 528}, {2, 264}, {4, 132}, {8, 66}, {16, 33}, {22, 24}} {
+			c := base
+			c.GridRows, c.GridCols = g[0], g[1]
+			cfgs = append(cfgs, c)
+		}
+		pts, err := linpack.Sweep(cfgs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, linpack.Table("LINPACK GFLOPS vs process grid shape (Delta model)", pts).Render())
+	case "machines":
+		pts, err := linpack.GenerationSweep(8192, *nb, 1992)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, linpack.Table("LINPACK N=8192 across the DARPA machine series", pts).Render())
+	default:
+		return fmt.Errorf("unknown sweep %q (want n, nb, grid or machines)", *sweep)
+	}
+	return nil
+}
+
+// runRegistered runs a registry workload with the given overrides and
+// writes its rendered text — the legacy commands are thin veneers over
+// the same workloads the registry serves.
+func runRegistered(ctx context.Context, stdout io.Writer, id string, values map[string]string) error {
+	w, err := harness.Lookup(id)
+	if err != nil {
+		return err
+	}
+	res, err := w.Run(ctx, harness.Params{Values: values})
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(stdout, res.Text)
+	return err
+}
+
+func cmdNren(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc nren", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bytes := fs.Float64("bytes", 10e6, "reference transfer size in bytes")
+	storm := fs.Bool("storm", false, "run all-pairs concurrent transfers")
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+
+	vals := map[string]string{"bytes": strconv.FormatFloat(*bytes, 'g', -1, 64)}
+	if err := runRegistered(ctx, stdout, "nren/link-classes", vals); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	if err := runRegistered(ctx, stdout, "nren/transfer-matrix", vals); err != nil {
+		return err
+	}
+	if !*storm {
+		return nil
+	}
+	fmt.Fprintln(stdout)
+	return runRegistered(ctx, stdout, "nren/storm", vals)
+}
+
+func cmdDelta(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc delta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rows := fs.Int("rows", 16, "mesh rows")
+	cols := fs.Int("cols", 33, "mesh columns")
+	pattern := fs.String("pattern", "uniform", "traffic pattern: uniform, transpose, hotspot, neighbor")
+	bytes := fs.Int("bytes", 1024, "packet size")
+	packets := fs.Int("packets", 50, "packets per node")
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+
+	return runRegistered(ctx, stdout, "mesh/saturation", map[string]string{
+		"rows":    strconv.Itoa(*rows),
+		"cols":    strconv.Itoa(*cols),
+		"pattern": *pattern,
+		"bytes":   strconv.Itoa(*bytes),
+		"packets": strconv.Itoa(*packets),
+	})
+}
+
+func cmdFunding(_ context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc funding", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csv := fs.Bool("csv", false, "emit the funding table as CSV")
+	jsonOut := fs.Bool("json", false, "emit the funding table as JSON")
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+
+	if *csv {
+		_, err := io.WriteString(stdout, funding.Table().CSV())
+		return err
+	}
+	if *jsonOut {
+		s, err := funding.Table().JSON()
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, s)
+		return err
+	}
+	fmt.Fprint(stdout, funding.Table().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, funding.GrowthTable().Render())
+	fmt.Fprintln(stdout)
+
+	lines := funding.FY9293()
+	labels := make([]string, len(lines))
+	vals := make([]float64, len(lines))
+	for i, l := range lines {
+		labels[i] = l.Agency
+		vals[i] = l.FY93
+	}
+	fmt.Fprint(stdout, report.BarChart("FY 1993 request ($M)", labels, vals, 40))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, agency.Matrix().Render())
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "Program goals:")
+	for i, g := range agency.Goals() {
+		fmt.Fprintf(stdout, "  %d. %s\n", i+1, g)
+	}
+	return nil
+}

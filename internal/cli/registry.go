@@ -1,0 +1,257 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+// parseErr maps -h to a clean exit instead of an error trace.
+func parseErr(err error) error {
+	if errors.Is(err, flag.ErrHelp) {
+		return nil
+	}
+	return err
+}
+
+// splitLeadingID peels a leading non-flag argument (a workload ID) off
+// args, so subcommands accept "run <id> -quick" as well as
+// "run -quick <id>" despite flag's stop-at-first-positional parsing.
+func splitLeadingID(args []string) (id string, rest []string) {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		return args[0], args[1:]
+	}
+	return "", args
+}
+
+// paramFlags collects repeated -p name=value workload overrides.
+type paramFlags struct{ vals map[string]string }
+
+// String implements flag.Value.
+func (p *paramFlags) String() string {
+	parts := make([]string, 0, len(p.vals))
+	for k, v := range p.vals {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Set implements flag.Value.
+func (p *paramFlags) Set(s string) error {
+	k, v, ok := strings.Cut(s, "=")
+	if !ok || strings.TrimSpace(k) == "" {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	if p.vals == nil {
+		p.vals = make(map[string]string)
+	}
+	p.vals[k] = v
+	return nil
+}
+
+func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc report", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "scale down the expensive experiments")
+	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
+	exp := fs.String("e", "", "run a single experiment by ID (E1..E7)")
+	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+
+	prog := core.NewProgram()
+	prog.Quick = *quick
+	if *exp != "" {
+		res, err := prog.ExperimentResult(*exp)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			s, err := res.JSON()
+			if err != nil {
+				return err
+			}
+			_, err = io.WriteString(stdout, s)
+			return err
+		}
+		_, err = io.WriteString(stdout, res.Text)
+		return err
+	}
+	if *jsonOut {
+		results, err := prog.ReportResults(ctx, *jobs)
+		if err != nil {
+			return err
+		}
+		return writeJSON(stdout, results)
+	}
+	return prog.WriteReportJobs(ctx, stdout, *jobs)
+}
+
+func cmdList(_ context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the catalog as JSON")
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+
+	if *jsonOut {
+		type entry struct {
+			ID          string          `json:"id"`
+			Description string          `json:"description"`
+			Params      []harness.Param `json:"params,omitempty"`
+		}
+		var out []entry
+		for _, w := range harness.All() {
+			out = append(out, entry{ID: w.ID(), Description: w.Description(), Params: w.ParamSpace()})
+		}
+		return writeJSON(stdout, out)
+	}
+	t := report.NewTable("Registered workloads", "ID", "Description", "Parameters")
+	t.Aligns = []report.Align{report.Left, report.Left, report.Left}
+	for _, w := range harness.All() {
+		var params []string
+		for _, p := range w.ParamSpace() {
+			params = append(params, p.Name+"="+p.Default)
+		}
+		t.AddRow(w.ID(), w.Description(), strings.Join(params, " "))
+	}
+	_, err := io.WriteString(stdout, t.Render())
+	return err
+}
+
+func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "scaled-down smoke configuration")
+	seed := fs.Int64("seed", 0, "seed for randomized workloads (0 = workload default)")
+	jsonOut := fs.Bool("json", false, "emit the structured result as JSON")
+	var overrides paramFlags
+	fs.Var(&overrides, "p", "workload parameter override name=value (repeatable)")
+	// Accept both "run <id> [flags]" and "run [flags] <id>".
+	id, rest := splitLeadingID(args)
+	if err := fs.Parse(rest); err != nil {
+		return parseErr(err)
+	}
+	switch {
+	case id == "" && fs.NArg() == 1:
+		id = fs.Arg(0)
+	case id != "" && fs.NArg() == 0:
+	default:
+		fmt.Fprintln(stderr, "usage: hpcc run <workload-id> [flags]   (see 'hpcc list')")
+		return errors.New("run: want exactly one workload ID")
+	}
+	w, err := harness.Lookup(id)
+	if err != nil {
+		return err
+	}
+	res, err := w.Run(ctx, harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals})
+	if err != nil {
+		return err
+	}
+	if res.WorkloadID == "" {
+		res.WorkloadID = w.ID()
+	}
+	if *jsonOut {
+		s, err := res.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(stdout, s)
+		return err
+	}
+	_, err = io.WriteString(stdout, res.Text)
+	return err
+}
+
+func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ids := fs.String("ids", "", "comma-separated workload IDs (default: every registered workload)")
+	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
+	quick := fs.Bool("quick", false, "scaled-down smoke configurations")
+	seed := fs.Int64("seed", 0, "seed for randomized workloads")
+	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
+	param := fs.String("param", "", "with a single positional workload: parameter to sweep")
+	values := fs.String("values", "", "comma-separated values for -param")
+	var overrides paramFlags
+	fs.Var(&overrides, "p", "workload parameter override name=value (repeatable)")
+	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
+	id, rest := splitLeadingID(args)
+	if err := fs.Parse(rest); err != nil {
+		return parseErr(err)
+	}
+	if id == "" && fs.NArg() == 1 {
+		id = fs.Arg(0)
+	} else if fs.NArg() > 0 {
+		return errors.New("sweep: want at most one positional workload ID")
+	}
+
+	base := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
+
+	var results []harness.Result
+	var err error
+	switch {
+	case *param != "":
+		// One workload, many points: hpcc sweep linpack/delta -param nb -values 4,8,16
+		if id == "" {
+			return errors.New("sweep: -param needs exactly one positional workload ID")
+		}
+		if *values == "" {
+			return errors.New("sweep: -param needs -values v1,v2,...")
+		}
+		w, lerr := harness.Lookup(id)
+		if lerr != nil {
+			return lerr
+		}
+		vals := strings.Split(*values, ",")
+		results, err = harness.SweepValues(ctx, w, base, *param, vals, *jobs)
+	case id != "":
+		return errors.New("sweep: a positional workload ID needs -param/-values; use -ids for a portfolio")
+	default:
+		var ws []harness.Workload
+		if *ids == "" {
+			ws = harness.All()
+		} else {
+			for _, id := range strings.Split(*ids, ",") {
+				w, lerr := harness.Lookup(strings.TrimSpace(id))
+				if lerr != nil {
+					return lerr
+				}
+				ws = append(ws, w)
+			}
+		}
+		results, err = harness.SweepWorkloads(ctx, ws, base, *jobs)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *jsonOut {
+		return writeJSON(stdout, results)
+	}
+	for _, r := range results {
+		if r.Title != "" {
+			fmt.Fprintf(stdout, "=== %s: %s ===\n\n%s\n", r.WorkloadID, r.Title, r.Text)
+		} else {
+			fmt.Fprintf(stdout, "=== %s ===\n\n%s\n", r.WorkloadID, r.Text)
+		}
+	}
+	return nil
+}
+
+// writeJSON emits v as indented JSON terminated by a newline.
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

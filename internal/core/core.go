@@ -4,24 +4,30 @@
 // network — and exposes every paper exhibit (E1-E7) as a runnable
 // experiment.
 //
-// A downstream user builds a Program with NewProgram and either runs a
-// single experiment by ID or regenerates the full report:
+// The exhibits are registered as harness workloads (IDs "E1".."E7"), so
+// they are also reachable through the workload registry and the concurrent
+// sweep engine. A downstream user builds a Program with NewProgram and
+// either runs a single experiment by ID or regenerates the full report,
+// optionally across host cores:
 //
 //	prog := core.NewProgram()
-//	text, err := prog.RunExperiment("E4") // Delta LINPACK
-//	err = prog.WriteReport(os.Stdout)     // everything
+//	text, err := prog.RunExperiment("E4")  // Delta LINPACK
+//	err = prog.WriteReport(os.Stdout)      // everything, sequential
+//	err = prog.WriteReportJobs(ctx, os.Stdout, runtime.NumCPU()) // same bytes, parallel
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 
 	"repro/internal/agency"
 	"repro/internal/apps/shallow"
 	"repro/internal/apps/stencil"
 	"repro/internal/funding"
+	"repro/internal/harness"
 	"repro/internal/linpack"
 	"repro/internal/machine"
 	"repro/internal/nren"
@@ -64,77 +70,193 @@ type Experiment struct {
 	Run   func(p *Program) (string, error)
 }
 
-// Experiments returns all exhibits in paper order.
-func (p *Program) Experiments() []Experiment {
-	return []Experiment{
-		{
-			ID:    "E1",
-			Title: "Federal HPCC program funding FY92-93",
-			Paper: "8 agencies; totals $654.8M (FY92) and $802.9M (FY93)",
-			Run:   runE1,
-		},
-		{
-			ID:    "E2",
-			Title: "Federal HPCC program responsibilities matrix",
-			Paper: "agencies x {HPCS, ASTA, NREN, BRHR}",
-			Run:   runE2,
-		},
-		{
-			ID:    "E3",
-			Title: "Touchstone Delta peak speed",
-			Paper: "peak speed of 32 GFLOPS using the 528 numeric processors",
-			Run:   runE3,
-		},
-		{
-			ID:    "E4",
-			Title: "Delta LINPACK benchmark",
-			Paper: "13 GFLOPS on a LINPACK code of order 25,000 by 25,000",
-			Run:   runE4,
-		},
-		{
-			ID:    "E5",
-			Title: "Delta Consortium network connections",
-			Paper: "NSFnet T1/T3, ESnet T1, CASA HIPPI/SONET 800 Mbps, regional T1 and 56 kbps",
-			Run:   runE5,
-		},
-		{
-			ID:    "E6",
-			Title: "Computational aerosciences testbed scaling",
-			Paper: "CAS consortium applications exploit the Delta testbed",
-			Run:   runE6,
-		},
-		{
-			ID:    "E7",
-			Title: "Ocean/atmosphere Grand Challenge scaling",
-			Paper: "NOAA/EPA ocean and atmospheric computation research on HPCC testbeds",
-			Run:   runE7,
-		},
+// exhibit is a paper exhibit as a harness workload: runnable against a
+// fresh default Program through the registry, or against a configured
+// Program through bind.
+type exhibit struct {
+	id    string
+	title string
+	paper string
+	run   func(p *Program) (string, error)
+}
+
+// exhibits lists every paper exhibit in paper order. The init function
+// below registers each with the default workload registry.
+var exhibits = []exhibit{
+	{
+		id:    "E1",
+		title: "Federal HPCC program funding FY92-93",
+		paper: "8 agencies; totals $654.8M (FY92) and $802.9M (FY93)",
+		run:   runE1,
+	},
+	{
+		id:    "E2",
+		title: "Federal HPCC program responsibilities matrix",
+		paper: "agencies x {HPCS, ASTA, NREN, BRHR}",
+		run:   runE2,
+	},
+	{
+		id:    "E3",
+		title: "Touchstone Delta peak speed",
+		paper: "peak speed of 32 GFLOPS using the 528 numeric processors",
+		run:   runE3,
+	},
+	{
+		id:    "E4",
+		title: "Delta LINPACK benchmark",
+		paper: "13 GFLOPS on a LINPACK code of order 25,000 by 25,000",
+		run:   runE4,
+	},
+	{
+		id:    "E5",
+		title: "Delta Consortium network connections",
+		paper: "NSFnet T1/T3, ESnet T1, CASA HIPPI/SONET 800 Mbps, regional T1 and 56 kbps",
+		run:   runE5,
+	},
+	{
+		id:    "E6",
+		title: "Computational aerosciences testbed scaling",
+		paper: "CAS consortium applications exploit the Delta testbed",
+		run:   runE6,
+	},
+	{
+		id:    "E7",
+		title: "Ocean/atmosphere Grand Challenge scaling",
+		paper: "NOAA/EPA ocean and atmospheric computation research on HPCC testbeds",
+		run:   runE7,
+	},
+}
+
+func init() {
+	for _, e := range exhibits {
+		harness.MustRegister(e)
 	}
+}
+
+// ID implements harness.Workload.
+func (e exhibit) ID() string { return e.id }
+
+// Description implements harness.Workload.
+func (e exhibit) Description() string { return e.title }
+
+// ParamSpace implements harness.Workload: exhibits only take the universal
+// quick/seed knobs.
+func (e exhibit) ParamSpace() []harness.Param { return nil }
+
+// Run implements harness.Workload against a fresh default Program. The
+// ctx check covers cancellation between exhibits; the simulations
+// themselves run to completion once started.
+func (e exhibit) Run(ctx context.Context, p harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	prog := NewProgram()
+	prog.Quick = p.Quick
+	return e.runWith(prog)
+}
+
+func (e exhibit) runWith(p *Program) (harness.Result, error) {
+	text, err := e.run(p)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	return harness.Result{
+		WorkloadID: e.id,
+		Title:      e.title,
+		Paper:      e.paper,
+		Text:       text,
+	}, nil
+}
+
+// bind pins the exhibit to a caller-configured Program, so report
+// generation honors field overrides (Quick, a swapped Machine, ...).
+func (e exhibit) bind(p *Program) harness.Workload {
+	return boundExhibit{exhibit: e, prog: p}
+}
+
+type boundExhibit struct {
+	exhibit
+	prog *Program
+}
+
+// Run implements harness.Workload against the bound Program.
+func (b boundExhibit) Run(ctx context.Context, _ harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	return b.runWith(b.prog)
+}
+
+// Experiments returns all exhibits in paper order, backed by the same
+// workloads the registry serves.
+func (p *Program) Experiments() []Experiment {
+	out := make([]Experiment, len(exhibits))
+	for i, e := range exhibits {
+		out[i] = Experiment{ID: e.id, Title: e.title, Paper: e.paper, Run: e.run}
+	}
+	return out
 }
 
 // RunExperiment regenerates a single exhibit by ID ("E1".."E7").
 func (p *Program) RunExperiment(id string) (string, error) {
-	for _, e := range p.Experiments() {
-		if strings.EqualFold(e.ID, id) {
-			return e.Run(p)
+	res, err := p.ExperimentResult(id)
+	if err != nil {
+		return "", err
+	}
+	return res.Text, nil
+}
+
+// ExperimentResult regenerates a single exhibit by ID as a structured
+// harness result (title, paper claim, text, metrics).
+func (p *Program) ExperimentResult(id string) (harness.Result, error) {
+	for _, e := range exhibits {
+		if strings.EqualFold(e.id, id) {
+			return e.runWith(p)
 		}
 	}
 	var ids []string
-	for _, e := range p.Experiments() {
-		ids = append(ids, e.ID)
+	for _, e := range exhibits {
+		ids = append(ids, e.id)
 	}
-	sort.Strings(ids)
-	return "", fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	return harness.Result{}, fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 }
 
-// WriteReport regenerates every exhibit into w.
+// WriteReport regenerates every exhibit into w, sequentially.
 func (p *Program) WriteReport(w io.Writer) error {
-	for _, e := range p.Experiments() {
-		out, err := e.Run(p)
-		if err != nil {
-			return fmt.Errorf("core: %s: %w", e.ID, err)
+	return p.WriteReportJobs(context.Background(), w, 1)
+}
+
+// ReportResults runs every exhibit through the sweep engine on `workers`
+// goroutines (workers < 1 means one per host core) and returns the
+// structured results in paper order — the order is deterministic however
+// many workers run.
+func (p *Program) ReportResults(ctx context.Context, workers int) ([]harness.Result, error) {
+	jobs := make([]harness.Job, len(exhibits))
+	for i, e := range exhibits {
+		jobs[i] = harness.Job{Workload: e.bind(p), Params: harness.Params{Quick: p.Quick}}
+	}
+	results, err := harness.Sweep(ctx, jobs, workers)
+	if err != nil {
+		var je *harness.JobError
+		if errors.As(err, &je) {
+			return nil, fmt.Errorf("core: %s: %w", je.WorkloadID, je.Err)
 		}
-		fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", e.ID, e.Title, e.Paper, out)
+		return nil, fmt.Errorf("core: report: %w", err)
+	}
+	return results, nil
+}
+
+// WriteReportJobs regenerates every exhibit into w using `workers`
+// concurrent workers. Output is byte-identical to the sequential
+// WriteReport regardless of workers: the sweep engine assembles results
+// in paper order.
+func (p *Program) WriteReportJobs(ctx context.Context, w io.Writer, workers int) error {
+	results, err := p.ReportResults(ctx, workers)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", r.WorkloadID, r.Title, r.Paper, r.Text)
 	}
 	return nil
 }

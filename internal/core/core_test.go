@@ -2,8 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"repro/internal/harness"
 )
 
 func TestNewProgramAssembled(t *testing.T) {
@@ -140,5 +144,65 @@ func TestWriteReportQuick(t *testing.T) {
 		if !strings.Contains(out, "=== "+e.ID+":") {
 			t.Fatalf("report missing %s", e.ID)
 		}
+	}
+}
+
+func TestWriteReportJobsByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	for _, workers := range []int{2, 4, 0} { // 0 = one per host core
+		p := NewProgram()
+		p.Quick = true
+		var seq, par bytes.Buffer
+		if err := p.WriteReportJobs(ctx, &seq, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.WriteReportJobs(ctx, &par, workers); err != nil {
+			t.Fatal(err)
+		}
+		if seq.String() != par.String() {
+			t.Fatalf("report with %d workers differs from sequential", workers)
+		}
+	}
+}
+
+func TestExhibitsRegisteredWithHarness(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7"} {
+		w, err := harness.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Description() == "" {
+			t.Fatalf("%s has no description", id)
+		}
+	}
+	// Running through the registry reproduces the Program path's text.
+	w, err := harness.Lookup("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Run(context.Background(), harness.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewProgram().RunExperiment("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Text != want {
+		t.Fatal("registry-path E1 text differs from Program path")
+	}
+	if res.Paper == "" || res.Title == "" {
+		t.Fatalf("registry result missing exhibit metadata: %+v", res)
+	}
+}
+
+func TestReportResultsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := NewProgram()
+	p.Quick = true
+	_, err := p.ReportResults(ctx, 2)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
 }

@@ -1,0 +1,172 @@
+// Package harness turns the repository's experiments into uniform,
+// schedulable workloads. The paper's HPCC program is a portfolio — funding
+// exhibits, the Delta machine, LINPACK, Grand Challenge kernels, NREN
+// traffic — and every one of them is reproduced here behind the same small
+// interface so a single engine can list them, run them, and sweep their
+// parameter spaces across host cores.
+//
+// A workload registers itself (usually from an init function):
+//
+//	harness.MustRegister(harness.Spec{
+//		WorkloadID: "app/cfd-stencil",
+//		Desc:       "CFD relaxation kernel on the Delta model",
+//		Space:      []harness.Param{{Name: "n", Default: "512", Doc: "grid edge"}},
+//		RunFunc:    run,
+//	})
+//
+// and is then reachable by ID through Lookup, runnable through the sweep
+// engine in sweep.go, and visible to the hpcc CLI.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Param documents one tunable dimension of a workload's parameter space:
+// its name, the default used when a run does not override it, and a short
+// doc string for CLI listings.
+type Param struct {
+	Name    string `json:"name"`
+	Default string `json:"default"`
+	Doc     string `json:"doc"`
+}
+
+// Params carries the run-time knobs of a single workload execution. Quick
+// and Seed are universal; everything else travels in Values keyed by the
+// Param names the workload declares.
+type Params struct {
+	// Quick asks the workload for a scaled-down smoke configuration.
+	Quick bool `json:"quick,omitempty"`
+	// Seed makes randomized workloads deterministic.
+	Seed int64 `json:"seed,omitempty"`
+	// Values holds workload-specific overrides keyed by Param.Name.
+	Values map[string]string `json:"values,omitempty"`
+}
+
+// WithValue returns a copy of p with name=value set (the receiver is not
+// mutated, so Params can be shared across sweep points).
+func (p Params) WithValue(name, value string) Params {
+	vals := make(map[string]string, len(p.Values)+1)
+	for k, v := range p.Values {
+		vals[k] = v
+	}
+	vals[name] = value
+	p.Values = vals
+	return p
+}
+
+// Value returns the override for name, or def when absent.
+func (p Params) Value(name, def string) string {
+	if v, ok := p.Values[name]; ok {
+		return v
+	}
+	return def
+}
+
+// Int returns the override for name parsed as an int, or def when absent.
+func (p Params) Int(name string, def int) (int, error) {
+	v, ok := p.Values[name]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("harness: param %s=%q: %w", name, v, err)
+	}
+	return n, nil
+}
+
+// Float returns the override for name parsed as a float64, or def when
+// absent.
+func (p Params) Float(name string, def float64) (float64, error) {
+	v, ok := p.Values[name]
+	if !ok {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("harness: param %s=%q: %w", name, v, err)
+	}
+	return f, nil
+}
+
+// Metric is one named quantity a workload reports alongside its rendered
+// text — the numbers the paper prints, kept machine-readable.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+	Unit  string  `json:"unit,omitempty"`
+}
+
+// Result is the structured outcome of one workload run.
+type Result struct {
+	// WorkloadID echoes the workload that produced the result.
+	WorkloadID string `json:"workload"`
+	// Title is the human heading (table caption / exhibit title).
+	Title string `json:"title,omitempty"`
+	// Paper records what the source paper reports for this exhibit, when
+	// the workload reproduces one.
+	Paper string `json:"paper,omitempty"`
+	// Text is the rendered exhibit: tables, charts, summary lines.
+	Text string `json:"text"`
+	// Metrics are the headline numbers in report order.
+	Metrics []Metric `json:"metrics,omitempty"`
+}
+
+// AddMetric appends a named quantity to the result.
+func (r *Result) AddMetric(name string, value float64, unit string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// JSON renders the result as indented JSON terminated by a newline.
+func (r Result) JSON() (string, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("harness: encode result %s: %w", r.WorkloadID, err)
+	}
+	return string(b) + "\n", nil
+}
+
+// Workload is one runnable experiment: a paper exhibit, a kernel, a sweep.
+// Implementations must be safe for concurrent Run calls — the sweep engine
+// runs independent points on separate goroutines.
+type Workload interface {
+	// ID is the stable registry key, e.g. "E4" or "linpack/sweep-nb".
+	ID() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// ParamSpace documents the tunable parameters and their defaults.
+	ParamSpace() []Param
+	// Run executes the workload. It must honor ctx cancellation in any
+	// long loop and be deterministic for fixed Params.
+	Run(ctx context.Context, p Params) (Result, error)
+}
+
+// Spec is a Workload built from plain values — the common case, so a new
+// workload is a registration call rather than a new type.
+type Spec struct {
+	WorkloadID string
+	Desc       string
+	Space      []Param
+	RunFunc    func(ctx context.Context, p Params) (Result, error)
+}
+
+// ID implements Workload.
+func (s Spec) ID() string { return s.WorkloadID }
+
+// Description implements Workload.
+func (s Spec) Description() string { return s.Desc }
+
+// ParamSpace implements Workload.
+func (s Spec) ParamSpace() []Param { return s.Space }
+
+// Run implements Workload.
+func (s Spec) Run(ctx context.Context, p Params) (Result, error) {
+	if s.RunFunc == nil {
+		return Result{}, fmt.Errorf("harness: workload %s has no RunFunc", s.WorkloadID)
+	}
+	return s.RunFunc(ctx, p)
+}

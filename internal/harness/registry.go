@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry maps workload IDs to workloads. The zero value is ready to use;
+// all methods are safe for concurrent callers.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Workload
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds w; it fails if the ID is empty or already taken.
+func (r *Registry) Register(w Workload) error {
+	id := w.ID()
+	if strings.TrimSpace(id) == "" {
+		return fmt.Errorf("harness: workload with empty ID (%q)", w.Description())
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]Workload)
+	}
+	if _, dup := r.m[id]; dup {
+		return fmt.Errorf("harness: workload %q already registered", id)
+	}
+	r.m[id] = w
+	return nil
+}
+
+// Lookup finds a workload by ID (case-insensitive). The error lists the
+// known IDs so a CLI typo is self-correcting.
+func (r *Registry) Lookup(id string) (Workload, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if w, ok := r.m[id]; ok {
+		return w, nil
+	}
+	for k, w := range r.m {
+		if strings.EqualFold(k, id) {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown workload %q (have %s)",
+		id, strings.Join(r.idsLocked(), ", "))
+}
+
+// IDs returns all registered IDs sorted with exhibit order first: bare
+// "En" experiment IDs sort numerically ahead of namespaced IDs, which sort
+// lexically. The order is deterministic and is the order `hpcc list` and
+// full sweeps use.
+func (r *Registry) IDs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.idsLocked()
+}
+
+func (r *Registry) idsLocked() []string {
+	ids := make([]string, 0, len(r.m))
+	for id := range r.m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return idLess(ids[i], ids[j]) })
+	return ids
+}
+
+// idLess orders exhibit IDs ("E1".."E7", numerically) before namespaced
+// workload IDs (lexically).
+func idLess(a, b string) bool {
+	an, aok := exhibitNum(a)
+	bn, bok := exhibitNum(b)
+	switch {
+	case aok && bok:
+		return an < bn
+	case aok:
+		return true
+	case bok:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// exhibitNum parses "E<digits>" IDs.
+func exhibitNum(id string) (int, bool) {
+	if len(id) < 2 || (id[0] != 'E' && id[0] != 'e') {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// All returns every registered workload in IDs() order.
+func (r *Registry) All() []Workload {
+	ids := r.IDs()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Workload, len(ids))
+	for i, id := range ids {
+		out[i] = r.m[id]
+	}
+	return out
+}
+
+// Len reports the number of registered workloads.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// Default is the process-wide registry that package init functions feed.
+var Default = NewRegistry()
+
+// Register adds w to the default registry.
+func Register(w Workload) error { return Default.Register(w) }
+
+// MustRegister adds w to the default registry and panics on error — for
+// init-time registration, where a duplicate ID is a programming error.
+func MustRegister(w Workload) {
+	if err := Default.Register(w); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a workload in the default registry.
+func Lookup(id string) (Workload, error) { return Default.Lookup(id) }
+
+// IDs lists the default registry in deterministic order.
+func IDs() []string { return Default.IDs() }
+
+// All lists the default registry's workloads in deterministic order.
+func All() []Workload { return Default.All() }

@@ -1,0 +1,151 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Job is one point of a sweep: a workload plus the parameters to run it
+// with.
+type Job struct {
+	Workload Workload
+	Params   Params
+}
+
+// JobError wraps a failed sweep point with its position and workload ID.
+type JobError struct {
+	Index      int
+	WorkloadID string
+	Err        error
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	return fmt.Sprintf("harness: job %d (%s): %v", e.Index, e.WorkloadID, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// DefaultWorkers is the sweep engine's default parallelism: one worker per
+// host core.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Sweep executes the jobs on a pool of `workers` goroutines and returns
+// results in job order — assembly is deterministic, so parallel output is
+// byte-identical to a sequential run regardless of completion order.
+//
+// workers < 1 means DefaultWorkers(). On the first failure the engine
+// cancels the remaining jobs' context, drains the pool, and returns the
+// lowest-indexed error; results then holds only the jobs that completed.
+// Cancelling ctx stops dispatch and returns ctx.Err().
+func Sweep(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
+	if workers < 1 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	feed := make(chan int)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				job := jobs[i]
+				if job.Workload == nil {
+					errs[i] = &JobError{Index: i, WorkloadID: "", Err: fmt.Errorf("nil workload")}
+					cancel()
+					continue
+				}
+				res, err := job.Workload.Run(ctx, job.Params)
+				if err != nil {
+					errs[i] = &JobError{Index: i, WorkloadID: job.Workload.ID(), Err: err}
+					cancel()
+					continue
+				}
+				if res.WorkloadID == "" {
+					res.WorkloadID = job.Workload.ID()
+				}
+				results[i] = res
+			}
+		}()
+	}
+
+	var dispatchErr error
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			dispatchErr = ctx.Err()
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	// Report the lowest-indexed root-cause failure: once one job fails,
+	// the engine cancels the rest, so later slots may hold cancellation
+	// victims rather than the error that triggered the cancellation.
+	// Prefer the first non-cancellation error; fall back to the first
+	// cancellation, then to the context error.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return results, err
+		}
+	}
+	if firstErr != nil {
+		return results, firstErr
+	}
+	if dispatchErr != nil {
+		return results, dispatchErr
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// SweepWorkloads runs each workload once with the same base params —
+// the "run the whole portfolio" case — returning results in the given
+// order.
+func SweepWorkloads(ctx context.Context, ws []Workload, base Params, workers int) ([]Result, error) {
+	jobs := make([]Job, len(ws))
+	for i, w := range ws {
+		jobs[i] = Job{Workload: w, Params: base}
+	}
+	return Sweep(ctx, jobs, workers)
+}
+
+// SweepValues expands one workload over successive overrides of a single
+// parameter and runs the points concurrently: the classic
+// "GFLOPS vs block size" sweep.
+func SweepValues(ctx context.Context, w Workload, base Params, name string, values []string, workers int) ([]Result, error) {
+	jobs := make([]Job, len(values))
+	for i, v := range values {
+		jobs[i] = Job{Workload: w, Params: base.WithValue(name, v)}
+	}
+	return Sweep(ctx, jobs, workers)
+}

@@ -1,0 +1,195 @@
+package nren
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/topo"
+)
+
+// The consortium wide-area network experiments as registry workloads: the
+// link-class figure, the site-to-site transfer matrix, the all-pairs
+// storm, and the Poisson traffic mix.
+func init() {
+	harness.MustRegister(harness.Spec{
+		WorkloadID: "nren/link-classes",
+		Desc:       "1992 consortium link classes: rate and reference transfer time",
+		Space: []harness.Param{
+			{Name: "bytes", Default: "1e7", Doc: "reference transfer size in bytes"},
+		},
+		RunFunc: runLinkClasses,
+	})
+	harness.MustRegister(harness.Spec{
+		WorkloadID: "nren/transfer-matrix",
+		Desc:       "Site-to-site transfer times over the consortium topology",
+		Space: []harness.Param{
+			{Name: "bytes", Default: "1e7", Doc: "transfer size in bytes"},
+		},
+		RunFunc: runTransferMatrix,
+	})
+	harness.MustRegister(harness.Spec{
+		WorkloadID: "nren/storm",
+		Desc:       "All-pairs concurrent transfers with fair sharing; busiest links",
+		Space: []harness.Param{
+			{Name: "bytes", Default: "1e7", Doc: "per-pair transfer size in bytes"},
+		},
+		RunFunc: runStorm,
+	})
+	harness.MustRegister(harness.Spec{
+		WorkloadID: "nren/traffic",
+		Desc:       "Poisson transfer mix over the consortium network",
+		Space: []harness.Param{
+			{Name: "flows", Default: "200", Doc: "number of flows"},
+			{Name: "rate", Default: "2", Doc: "flow arrivals per second"},
+			{Name: "mean-bytes", Default: "1e7", Doc: "mean transfer size in bytes"},
+		},
+		RunFunc: runTraffic,
+	})
+}
+
+func runLinkClasses(ctx context.Context, p harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	bytes, err := p.Float("bytes", 10e6)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	tbl, err := LinkClassTable(bytes)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	res := harness.Result{
+		Title: "Delta Consortium link classes",
+		Paper: "NSFnet T1/T3, ESnet T1, CASA HIPPI/SONET 800 Mbps, regional T1 and 56 kbps",
+		Text:  tbl.Render(),
+	}
+	res.AddMetric("classes", float64(len(topo.Classes())), "")
+	return res, nil
+}
+
+func runTransferMatrix(ctx context.Context, p harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	bytes, err := p.Float("bytes", 10e6)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	g := topo.Consortium()
+	sites := []string{
+		topo.SiteCaltech, topo.SiteJPL, topo.SiteSDSC, topo.SiteLANL,
+		topo.SiteRice, topo.SiteDARPA, topo.SiteRegional,
+	}
+	m, err := TransferMatrix(g, sites, bytes)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	title := fmt.Sprintf("%.0f MB transfer times between consortium sites (seconds)", bytes/1e6)
+	res := harness.Result{Title: title, Text: MatrixTable(title, sites, m).Render()}
+	res.AddMetric("sites", float64(len(sites)), "")
+	return res, nil
+}
+
+func runStorm(ctx context.Context, p harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	bytes, err := p.Float("bytes", 10e6)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	g := topo.Consortium()
+	s := New(g)
+	all := topo.ConsortiumSites()
+	for i, a := range all {
+		for j, b := range all {
+			if i == j {
+				continue
+			}
+			if _, err := s.Transfer(a, b, bytes, 0); err != nil {
+				return harness.Result{}, err
+			}
+		}
+	}
+	if err := s.Run(); err != nil {
+		return harness.Result{}, err
+	}
+	util := s.Utilization()
+	keys := make([]string, 0, len(util))
+	for k := range util {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if util[keys[i]] != util[keys[j]] {
+			return util[keys[i]] > util[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	t := report.NewTable("Busiest links during the storm", "Link", "Utilization %")
+	for i, k := range keys {
+		if i == 8 {
+			break
+		}
+		t.AddRow(k, report.Cellf("%.1f", util[k]*100))
+	}
+	n := len(all) * (len(all) - 1)
+	text := fmt.Sprintf("storm of %d concurrent transfers drained in %.1f s\n\n%s",
+		n, s.Now(), t.Render())
+	res := harness.Result{Title: "Consortium all-pairs transfer storm", Text: text}
+	res.AddMetric("transfers", float64(n), "")
+	res.AddMetric("drain-s", s.Now(), "s")
+	return res, nil
+}
+
+func runTraffic(ctx context.Context, p harness.Params) (harness.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return harness.Result{}, err
+	}
+	flows, err := p.Int("flows", 200)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	if p.Quick && flows > 50 {
+		flows = 50
+	}
+	rate, err := p.Float("rate", 2)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	meanBytes, err := p.Float("mean-bytes", 10e6)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1992
+	}
+	g := topo.Consortium()
+	_, st, err := RunWorkload(g, Workload{
+		Sites:       topo.ConsortiumSites(),
+		ArrivalRate: rate,
+		MeanBytes:   meanBytes,
+		Flows:       flows,
+		Seed:        seed,
+	})
+	if err != nil {
+		return harness.Result{}, err
+	}
+	t := report.NewTable(
+		report.Cellf("Poisson traffic mix: %d flows at %.1f/s, mean %.1f MB", flows, rate, meanBytes/1e6),
+		"Quantity", "Value")
+	t.AddRow("Flows", report.Cellf("%d", st.Flows))
+	t.AddRow("Mean duration", report.Cellf("%.2f s", st.MeanDuration))
+	t.AddRow("P95 duration", report.Cellf("%.2f s", st.P95Duration))
+	t.AddRow("Mean rate", report.Cellf("%.2f Mbps", st.MeanRateBps*8/1e6))
+	t.AddRow("Drain time", report.Cellf("%.1f s", st.DrainTime))
+	res := harness.Result{Title: "NREN Poisson traffic mix", Text: t.Render()}
+	res.AddMetric("mean-duration-s", st.MeanDuration, "s")
+	res.AddMetric("p95-duration-s", st.P95Duration, "s")
+	res.AddMetric("drain-s", st.DrainTime, "s")
+	return res, nil
+}

@@ -117,7 +117,7 @@ func firstN(ss []string, n int) string {
 // PanicError wraps a panic raised inside a process body.
 type PanicError struct {
 	Rank  int
-	Value interface{}
+	Value any
 }
 
 // Error implements the error interface.

@@ -466,7 +466,7 @@ func TestHockneyFitRecoversModelParameters(t *testing.T) {
 }
 
 // asErr is errors.As without importing errors in every call site.
-func asErr(err error, target interface{}) bool {
+func asErr(err error, target any) bool {
 	switch tp := target.(type) {
 	case **PanicError:
 		pe, ok := err.(*PanicError)

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// tableJSON is the wire form of a Table: title, column headers, and rows
+// as string matrices — enough for any downstream tool to rehydrate the
+// exhibit without parsing aligned text.
+type tableJSON struct {
+	Title   string     `json:"title,omitempty"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Columns: t.Columns, Rows: rows})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, the inverse of MarshalJSON.
+func (t *Table) UnmarshalJSON(data []byte) error {
+	var tj tableJSON
+	if err := json.Unmarshal(data, &tj); err != nil {
+		return fmt.Errorf("report: decode table: %w", err)
+	}
+	t.Title, t.Columns, t.Rows = tj.Title, tj.Columns, tj.Rows
+	return nil
+}
+
+// JSON returns the table as indented JSON terminated by a newline — the
+// machine-readable sibling of Render and CSV.
+func (t *Table) JSON() (string, error) {
+	b, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: encode table %q: %w", t.Title, err)
+	}
+	return string(b) + "\n", nil
+}

@@ -1,0 +1,47 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tbl := NewTable("Budget", "Agency", "FY93")
+	tbl.AddRow("DARPA", "275.0")
+	tbl.AddRow("NSF", "261.9")
+	s, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Fatal("JSON output not newline-terminated")
+	}
+	for _, want := range []string{`"title": "Budget"`, `"DARPA"`, `"columns"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %s:\n%s", want, s)
+		}
+	}
+	var back Table
+	if err := json.Unmarshal([]byte(s), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Title != tbl.Title || len(back.Rows) != 2 || back.Rows[0][0] != "DARPA" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	// The rehydrated table renders identically.
+	if back.Render() != tbl.Render() {
+		t.Fatal("rendered output differs after JSON round trip")
+	}
+}
+
+func TestTableJSONEmptyRows(t *testing.T) {
+	tbl := NewTable("Empty", "A")
+	s, err := tbl.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `"rows": []`) {
+		t.Fatalf("nil rows should encode as [], got:\n%s", s)
+	}
+}

@@ -44,7 +44,7 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // Cellf formats a cell value.
-func Cellf(format string, args ...interface{}) string {
+func Cellf(format string, args ...any) string {
 	return fmt.Sprintf(format, args...)
 }
 
