@@ -1,16 +1,24 @@
 // Command hpcc is the single front door to the HPCC reproduction: it
 // lists, runs and sweeps every registered workload — the paper exhibits
 // E1-E7, the Grand Challenge kernels, the LINPACK and NREN experiments —
-// and carries the legacy single-purpose tools as subcommands.
+// persists results to a run store, diffs snapshots across commits, and
+// carries the legacy single-purpose tools as subcommands.
 //
 // Usage:
 //
-//	hpcc report [-quick] [-j N] [-e E4] [-json]
+//	hpcc report [-quick] [-j N] [-e E4] [-json] [-store DIR]
 //	hpcc list [-json]
-//	hpcc run <workload-id> [-quick] [-seed S] [-p name=value] [-json]
-//	hpcc sweep [-ids a,b,c] [-j N] [-json]
+//	hpcc run <workload-id> [-quick] [-seed S] [-p name=value] [-json] [-store DIR]
+//	hpcc sweep [-ids a,b,c] [-j N] [-json] [-store DIR]
 //	hpcc sweep -param nb -values 4,8,16 linpack/delta
+//	hpcc diff [-store DIR] [-threshold 0.05] [-json] [old-ref [new-ref]]
 //	hpcc linpack | nren | delta | funding   # the old binaries
+//
+// The longitudinal loop the paper itself ran — measure, record, compare
+// against last time — is two commands:
+//
+//	hpcc run app/nas-ep -store .hpcc-store
+//	hpcc diff latest~1 latest   # exit 1 if a metric regressed past 5%
 package main
 
 import (

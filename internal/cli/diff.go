@@ -1,0 +1,195 @@
+package cli
+
+// Run-store wiring: the -store/-tag/-commit flags shared by run, sweep
+// and report, plus the diff subcommand that compares two stored snapshots
+// and gates CI on regressions.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os/exec"
+	"strings"
+
+	"repro/internal/store"
+)
+
+// storeFlags carries the result-persistence flags common to run, sweep
+// and report. With -store unset, persistence is off and the commands
+// behave exactly as before.
+type storeFlags struct {
+	dir    string
+	tag    string
+	commit string
+}
+
+func (sf *storeFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&sf.dir, "store", "", "append results to the run store in this directory (e.g. "+store.DefaultDir+")")
+	fs.StringVar(&sf.tag, "tag", "", "label the stored snapshot so 'hpcc diff <tag>' can find it")
+	fs.StringVar(&sf.commit, "commit", "", "commit hash recorded with the snapshot (default: git HEAD)")
+}
+
+// validate catches flag mistakes before the workloads run, when failing
+// is still cheap: -tag/-commit without -store would otherwise be
+// silently ignored, and a reserved tag would be unreachable by ref.
+func (sf *storeFlags) validate() error {
+	if sf.dir == "" {
+		if sf.tag != "" || sf.commit != "" {
+			return errors.New("-tag/-commit have no effect without -store")
+		}
+		return nil
+	}
+	return store.ValidateTag(sf.tag)
+}
+
+// persist appends entries as one snapshot when -store was given. The
+// confirmation goes to stderr so stdout stays byte-identical with and
+// without persistence.
+func (sf *storeFlags) persist(ctx context.Context, entries []store.Entry, stderr io.Writer) error {
+	if sf.dir == "" {
+		return nil
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	commit := sf.commit
+	if commit == "" {
+		commit = gitHead(ctx)
+	}
+	st, err := store.Open(sf.dir)
+	if err != nil {
+		return err
+	}
+	runID, err := st.Append(store.Meta{Commit: commit, Tag: sf.tag}, entries)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "hpcc: stored %d result(s) in %s (snapshot %s)\n", len(entries), sf.dir, runID)
+	return nil
+}
+
+// gitHead asks git for the current commit; "unknown" when the tree is not
+// a git checkout or git is unavailable, so persistence still works there.
+func gitHead(ctx context.Context) string {
+	out, err := exec.CommandContext(ctx, "git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func cmdDiff(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("store", store.DefaultDir, "run store directory")
+	threshold := fs.Float64("threshold", 0.05, "relative change (fraction) beyond which a metric regresses")
+	jsonOut := fs.Bool("json", false, "emit the delta report as JSON")
+	prune := fs.Int("prune", 0, "after diffing, keep only the newest N snapshots")
+	// Accept refs and flags in any interleaving ("diff latest~1 latest
+	// -json", "diff -json latest~1 latest", "diff -store d latest~1
+	// latest -json") despite flag's stop-at-first-positional parsing:
+	// alternate between peeling positional refs and parsing flag runs.
+	var refs []string
+	rest := args
+	for {
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			refs = append(refs, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if err := fs.Parse(rest); err != nil {
+			return parseErr(err)
+		}
+		if len(fs.Args()) == len(rest) {
+			// Nothing consumed (e.g. a bare "-"): the rest is positional.
+			refs = append(refs, fs.Args()...)
+			break
+		}
+		rest = fs.Args()
+	}
+	oldRef, newRef := "latest~1", "latest"
+	switch len(refs) {
+	case 0:
+	case 1:
+		oldRef = refs[0]
+	case 2:
+		oldRef, newRef = refs[0], refs[1]
+	default:
+		return errors.New("diff: want at most two refs (old new), e.g. 'hpcc diff latest~1 latest'")
+	}
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	snaps, err := st.Snapshots()
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return store.NoSnapshotsError(*dir)
+	}
+	oldSnap, err := store.Resolve(snaps, oldRef)
+	if err != nil {
+		return err
+	}
+	newSnap, err := store.Resolve(snaps, newRef)
+	if err != nil {
+		return err
+	}
+	d := store.Diff(oldSnap, newSnap, *threshold)
+
+	if *jsonOut {
+		s, err := d.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := io.WriteString(stdout, s); err != nil {
+			return err
+		}
+	} else {
+		if _, err := io.WriteString(stdout, d.Table().Render()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(stdout, d.Summary()); err != nil {
+			return err
+		}
+	}
+
+	// Vanished metrics, vanished points and changed text exhibits break
+	// the longitudinal series as surely as a slow metric, so they fail
+	// the gate too (report.DeltaReport.Gates). A failing gate skips
+	// -prune: the old snapshot is the evidence for the regression, and
+	// deleting it would make the failure impossible to re-inspect.
+	if d.Gates() {
+		var clauses []string
+		if n := len(d.Regressions()); n > 0 {
+			clauses = append(clauses, fmt.Sprintf("%d metric(s) regressed past %.4g%%", n, *threshold*100))
+		}
+		if n := len(d.MetricsRemoved); n > 0 {
+			clauses = append(clauses, fmt.Sprintf("%d metric(s) removed", n))
+		}
+		if n := len(d.Removed); n > 0 {
+			clauses = append(clauses, fmt.Sprintf("%d point(s) removed", n))
+		}
+		if n := len(d.TextChanged); n > 0 {
+			clauses = append(clauses, fmt.Sprintf("%d text exhibit(s) changed", n))
+		}
+		return errors.New("diff: " + strings.Join(clauses, ", "))
+	}
+
+	if *prune > 0 {
+		removed, err := st.Prune(*prune)
+		if err != nil {
+			return err
+		}
+		if removed > 0 {
+			fmt.Fprintf(stderr, "hpcc: pruned %d snapshot(s) from %s\n", removed, *dir)
+		}
+	}
+	return nil
+}

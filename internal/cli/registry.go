@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/report"
+	"repro/internal/store"
 )
 
 // parseErr maps -h to a clean exit instead of an error trace.
@@ -64,10 +65,16 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
 	exp := fs.String("e", "", "run a single experiment by ID (E1..E7)")
 	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
+	var sf storeFlags
+	sf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
+	if err := sf.validate(); err != nil {
+		return err
+	}
 
+	reportParams := harness.Params{Quick: *quick}
 	prog := core.NewProgram()
 	prog.Quick = *quick
 	if *exp != "" {
@@ -75,25 +82,52 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		if err != nil {
 			return err
 		}
-		if *jsonOut {
-			s, err := res.JSON()
-			if err != nil {
-				return err
-			}
-			_, err = io.WriteString(stdout, s)
+		if err := writeResult(stdout, res, *jsonOut); err != nil {
 			return err
 		}
-		_, err = io.WriteString(stdout, res.Text)
+		return sf.persist(ctx, []store.Entry{{Params: reportParams, Result: res}}, stderr)
+	}
+	results, err := prog.ReportResults(ctx, *jobs)
+	if err != nil {
 		return err
 	}
 	if *jsonOut {
-		results, err := prog.ReportResults(ctx, *jobs)
+		if err := writeJSON(stdout, results); err != nil {
+			return err
+		}
+	} else if err := core.WriteResults(stdout, results); err != nil {
+		return err
+	}
+	return sf.persistResults(ctx, results, func(int) harness.Params { return reportParams }, stderr)
+}
+
+// writeResult renders one result to w as JSON or text. Callers print
+// before persisting so a store failure never discards a result the run
+// already produced.
+func writeResult(w io.Writer, res harness.Result, jsonOut bool) error {
+	if jsonOut {
+		s, err := res.JSON()
 		if err != nil {
 			return err
 		}
-		return writeJSON(stdout, results)
+		_, err = io.WriteString(w, s)
+		return err
 	}
-	return prog.WriteReportJobs(ctx, stdout, *jobs)
+	_, err := io.WriteString(w, res.Text)
+	return err
+}
+
+// persistResults pairs each result with its params (by index) and
+// appends them as one snapshot; a no-op without -store.
+func (sf *storeFlags) persistResults(ctx context.Context, results []harness.Result, params func(int) harness.Params, stderr io.Writer) error {
+	if sf.dir == "" {
+		return nil
+	}
+	entries := make([]store.Entry, len(results))
+	for i, r := range results {
+		entries[i] = store.Entry{Params: params(i), Result: r}
+	}
+	return sf.persist(ctx, entries, stderr)
 }
 
 func cmdList(_ context.Context, args []string, stdout, stderr io.Writer) error {
@@ -137,10 +171,15 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	jsonOut := fs.Bool("json", false, "emit the structured result as JSON")
 	var overrides paramFlags
 	fs.Var(&overrides, "p", "workload parameter override name=value (repeatable)")
+	var sf storeFlags
+	sf.register(fs)
 	// Accept both "run <id> [flags]" and "run [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
+	}
+	if err := sf.validate(); err != nil {
+		return err
 	}
 	switch {
 	case id == "" && fs.NArg() == 1:
@@ -154,23 +193,18 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	if err != nil {
 		return err
 	}
-	res, err := w.Run(ctx, harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals})
+	params := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
+	res, err := w.Run(ctx, params)
 	if err != nil {
 		return err
 	}
 	if res.WorkloadID == "" {
 		res.WorkloadID = w.ID()
 	}
-	if *jsonOut {
-		s, err := res.JSON()
-		if err != nil {
-			return err
-		}
-		_, err = io.WriteString(stdout, s)
+	if err := writeResult(stdout, res, *jsonOut); err != nil {
 		return err
 	}
-	_, err = io.WriteString(stdout, res.Text)
-	return err
+	return sf.persist(ctx, []store.Entry{{Params: params, Result: res}}, stderr)
 }
 
 func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -185,10 +219,15 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	values := fs.String("values", "", "comma-separated values for -param")
 	var overrides paramFlags
 	fs.Var(&overrides, "p", "workload parameter override name=value (repeatable)")
+	var sf storeFlags
+	sf.register(fs)
 	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
+	}
+	if err := sf.validate(); err != nil {
+		return err
 	}
 	if id == "" && fs.NArg() == 1 {
 		id = fs.Arg(0)
@@ -198,6 +237,9 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 	base := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
 
+	// jobParams mirrors the per-result parameters so persisted records
+	// carry the exact point each result ran at.
+	var jobParams []harness.Params
 	var results []harness.Result
 	var err error
 	switch {
@@ -213,8 +255,11 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if lerr != nil {
 			return lerr
 		}
-		vals := strings.Split(*values, ",")
-		results, err = harness.SweepValues(ctx, w, base, *param, vals, *jobs)
+		jobList := harness.ValueJobs(w, base, *param, strings.Split(*values, ","))
+		for _, j := range jobList {
+			jobParams = append(jobParams, j.Params)
+		}
+		results, err = harness.Sweep(ctx, jobList, *jobs)
 	case id != "":
 		return errors.New("sweep: a positional workload ID needs -param/-values; use -ids for a portfolio")
 	default:
@@ -230,23 +275,32 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 				ws = append(ws, w)
 			}
 		}
+		jobParams = make([]harness.Params, len(ws))
+		for i := range ws {
+			jobParams[i] = base
+		}
 		results, err = harness.SweepWorkloads(ctx, ws, base, *jobs)
 	}
 	if err != nil {
 		return err
 	}
 
+	// Print before persisting: a store failure must not discard the
+	// results the sweep already produced.
 	if *jsonOut {
-		return writeJSON(stdout, results)
-	}
-	for _, r := range results {
-		if r.Title != "" {
-			fmt.Fprintf(stdout, "=== %s: %s ===\n\n%s\n", r.WorkloadID, r.Title, r.Text)
-		} else {
-			fmt.Fprintf(stdout, "=== %s ===\n\n%s\n", r.WorkloadID, r.Text)
+		if err := writeJSON(stdout, results); err != nil {
+			return err
+		}
+	} else {
+		for _, r := range results {
+			if r.Title != "" {
+				fmt.Fprintf(stdout, "=== %s: %s ===\n\n%s\n", r.WorkloadID, r.Title, r.Text)
+			} else {
+				fmt.Fprintf(stdout, "=== %s ===\n\n%s\n", r.WorkloadID, r.Text)
+			}
 		}
 	}
-	return nil
+	return sf.persistResults(ctx, results, func(i int) harness.Params { return jobParams[i] }, stderr)
 }
 
 // writeJSON emits v as indented JSON terminated by a newline.

@@ -1,0 +1,281 @@
+package cli
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+// TestRunStoreSelfDiffExitsZero runs a cheap workload twice into a store
+// and self-diffs: the gate must pass (exit 0) when nothing changed.
+func TestRunStoreSelfDiffExitsZero(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	for i, commit := range []string{"aaaa1111aaaa", "bbbb2222bbbb"} {
+		out, errOut, code := run(t, "run", "app/nas-ep", "-quick",
+			"-store", dir, "-commit", commit)
+		if code != 0 {
+			t.Fatalf("run %d exit %d: %s", i, code, errOut)
+		}
+		if !strings.Contains(errOut, "stored 1 result(s)") {
+			t.Fatalf("run %d: missing store confirmation on stderr: %q", i, errOut)
+		}
+		if strings.Contains(out, "stored") {
+			t.Fatalf("run %d: store confirmation leaked to stdout: %q", i, out)
+		}
+	}
+	out, errOut, code := run(t, "diff", "-store", dir, "latest~1", "latest")
+	if code != 0 {
+		t.Fatalf("self-diff exit %d, want 0\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(out, "0 regressed") {
+		t.Errorf("self-diff summary missing '0 regressed': %s", out)
+	}
+	if !strings.Contains(out, "app/nas-ep") {
+		t.Errorf("delta table missing the workload point: %s", out)
+	}
+}
+
+// TestRunStoreOutputUnchanged: persisting must not perturb stdout — the
+// rendered result is byte-identical with and without -store.
+func TestRunStoreOutputUnchanged(t *testing.T) {
+	plain, _, code := run(t, "run", "app/nas-ep", "-quick")
+	if code != 0 {
+		t.Fatalf("plain run exit %d", code)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	stored, _, code := run(t, "run", "app/nas-ep", "-quick", "-store", dir, "-commit", "cafe0000")
+	if code != 0 {
+		t.Fatalf("stored run exit %d", code)
+	}
+	if plain != stored {
+		t.Error("run -store changed stdout")
+	}
+}
+
+// seedSnapshots writes two fabricated snapshots whose gflops metric moves
+// by the given factor, so threshold behavior is exact.
+func seedSnapshots(t *testing.T, dir string, oldGflops, newGflops float64) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(v float64) harness.Result {
+		r := harness.Result{WorkloadID: "bench/x", Text: "x\n"}
+		r.AddMetric("gflops", v, "GFLOPS")
+		return r
+	}
+	base := time.Date(2026, 7, 28, 9, 0, 0, 0, time.UTC)
+	if _, err := st.Append(store.Meta{Commit: "old0000cafe", Time: base},
+		[]store.Entry{{Result: mk(oldGflops)}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(store.Meta{Commit: "new0000cafe", Time: base.Add(time.Minute)},
+		[]store.Entry{{Result: mk(newGflops)}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiffThresholdExitCodes: a drop past -threshold exits 1; the same
+// drop under a looser threshold exits 0; an improvement exits 0.
+func TestDiffThresholdExitCodes(t *testing.T) {
+	cases := []struct {
+		name       string
+		oldV, newV float64
+		threshold  string
+		wantCode   int
+	}{
+		{"10% drop past 5% gate", 100, 90, "0.05", 1},
+		{"10% drop under 20% gate", 100, 90, "0.20", 0},
+		{"improvement never gates", 100, 150, "0.05", 0},
+		{"wobble inside gate", 100, 99.9, "0.05", 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "store")
+			seedSnapshots(t, dir, c.oldV, c.newV)
+			out, errOut, code := run(t, "diff", "-store", dir, "-threshold", c.threshold)
+			if code != c.wantCode {
+				t.Fatalf("exit %d, want %d\nstdout: %s\nstderr: %s", code, c.wantCode, out, errOut)
+			}
+			if c.wantCode == 1 {
+				if !strings.Contains(errOut, "regressed") {
+					t.Errorf("regression exit without explanation on stderr: %q", errOut)
+				}
+				if !strings.Contains(out, "regressed") {
+					t.Errorf("regressed row missing from table: %s", out)
+				}
+			}
+		})
+	}
+}
+
+// TestDiffRemovedMetricGates: when a tracked metric vanishes between
+// snapshots, the gate must fail even though no compared metric regressed.
+func TestDiffRemovedMetricGates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := harness.Result{WorkloadID: "bench/x", Text: "x\n"}
+	old.AddMetric("gflops", 10, "GFLOPS")
+	neu := harness.Result{WorkloadID: "bench/x", Text: "x\n"}
+	base := time.Date(2026, 7, 28, 9, 0, 0, 0, time.UTC)
+	if _, err := st.Append(store.Meta{Time: base}, []store.Entry{{Result: old}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(store.Meta{Time: base.Add(time.Minute)}, []store.Entry{{Result: neu}}); err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := run(t, "diff", "-store", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out, errOut)
+	}
+	if !strings.Contains(errOut, "metric(s) removed") {
+		t.Errorf("gate failure does not mention the removed metric: %q", errOut)
+	}
+	if !strings.Contains(out, "gflops") {
+		t.Errorf("summary does not name the removed metric: %s", out)
+	}
+}
+
+// TestDiffRemovedPointGates: a workload point that vanishes entirely
+// between snapshots severs its whole longitudinal series — that must fail
+// the gate just like a single removed metric does.
+func TestDiffRemovedPointGates(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id string) harness.Result {
+		r := harness.Result{WorkloadID: id, Text: "x\n"}
+		r.AddMetric("gflops", 10, "GFLOPS")
+		return r
+	}
+	base := time.Date(2026, 7, 28, 9, 0, 0, 0, time.UTC)
+	if _, err := st.Append(store.Meta{Time: base},
+		[]store.Entry{{Result: mk("bench/x")}, {Result: mk("bench/y")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append(store.Meta{Time: base.Add(time.Minute)},
+		[]store.Entry{{Result: mk("bench/x")}}); err != nil {
+		t.Fatal(err)
+	}
+	_, errOut, code := run(t, "diff", "-store", dir)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: %s", code, errOut)
+	}
+	if !strings.Contains(errOut, "point(s) removed") {
+		t.Errorf("gate failure does not mention the removed point: %q", errOut)
+	}
+}
+
+// TestDiffFailingGateSkipsPrune: -prune must not delete the baseline
+// snapshot that exhibits the regression — the evidence survives a failing
+// gate, so the diff can be re-run and inspected.
+func TestDiffFailingGateSkipsPrune(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	seedSnapshots(t, dir, 100, 50)
+	_, _, code := run(t, "diff", "-store", dir, "-prune", "1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	out, _, code := run(t, "diff", "-store", dir, "latest~1", "latest")
+	if code != 1 || !strings.Contains(out, "regressed") {
+		t.Fatalf("baseline snapshot was pruned despite the failing gate (exit %d):\n%s", code, out)
+	}
+}
+
+// TestDiffJSON: -json emits a parseable DeltaReport and still gates.
+func TestDiffJSON(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	seedSnapshots(t, dir, 100, 50)
+	out, _, code := run(t, "diff", "-store", dir, "-json")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	var d report.DeltaReport
+	if err := json.Unmarshal([]byte(out), &d); err != nil {
+		t.Fatalf("diff -json output is not a DeltaReport: %v\n%s", err, out)
+	}
+	if len(d.Rows) != 1 || d.Rows[0].Status != report.DeltaRegressed {
+		t.Errorf("unexpected report: %+v", d)
+	}
+}
+
+// TestDiffMissingStore: a diff against a store that was never written
+// fails with guidance, not a panic or a silent pass.
+func TestDiffMissingStore(t *testing.T) {
+	_, errOut, code := run(t, "diff", "-store", filepath.Join(t.TempDir(), "nope"))
+	if code == 0 {
+		t.Fatal("diff on a missing store exited 0")
+	}
+	if !strings.Contains(errOut, "no snapshots") {
+		t.Errorf("unhelpful error: %q", errOut)
+	}
+}
+
+// TestStoreFlagValidation: -tag/-commit without -store, and reserved tag
+// names, fail before any workload runs instead of being silently ignored.
+func TestStoreFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"run", "app/nas-ep", "-quick", "-tag", "v2"},
+		{"run", "app/nas-ep", "-quick", "-commit", "abcd1234"},
+		{"sweep", "-ids", "app/nas-ep", "-quick", "-tag", "v2"},
+		{"report", "-quick", "-tag", "v2"},
+		{"run", "app/nas-ep", "-quick", "-store", "ignored", "-tag", "latest"},
+		{"run", "app/nas-ep", "-quick", "-store", "ignored", "-tag", "latest~1"},
+	}
+	for _, args := range cases {
+		out, errOut, code := run(t, args...)
+		if code == 0 {
+			t.Errorf("%v exited 0, want failure", args)
+		}
+		if out != "" {
+			t.Errorf("%v produced output before failing validation: %q", args, out)
+		}
+		if !strings.Contains(errOut, "store") && !strings.Contains(errOut, "tag") {
+			t.Errorf("%v: unhelpful error: %q", args, errOut)
+		}
+	}
+}
+
+// TestSweepStorePersistsPerPointParams: a -param sweep stores one record
+// per point, each keyed by its own parameter value.
+func TestSweepStorePersistsPerPointParams(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	_, errOut, code := run(t, "sweep", "app/nas-ep", "-quick",
+		"-param", "procs", "-values", "4,16", "-store", dir, "-commit", "feed0000")
+	if code != 0 {
+		t.Fatalf("sweep exit %d: %s", code, errOut)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := st.Resolve("latest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Records) != 2 {
+		t.Fatalf("stored %d records, want 2", len(snap.Records))
+	}
+	keys := map[string]bool{}
+	for _, rec := range snap.Records {
+		keys[rec.Key] = true
+		if got := rec.Params.Value("procs", ""); got != "4" && got != "16" {
+			t.Errorf("record params lost the sweep value: %+v", rec.Params)
+		}
+	}
+	if len(keys) != 2 {
+		t.Errorf("sweep points share a key; per-point params not persisted")
+	}
+}

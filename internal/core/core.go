@@ -255,8 +255,18 @@ func (p *Program) WriteReportJobs(ctx context.Context, w io.Writer, workers int)
 	if err != nil {
 		return err
 	}
+	return WriteResults(w, results)
+}
+
+// WriteResults renders structured exhibit results in the report's text
+// format — the single place that format lives, so callers that need the
+// results themselves (e.g. to persist them to a run store) can still
+// print the byte-identical report.
+func WriteResults(w io.Writer, results []harness.Result) error {
 	for _, r := range results {
-		fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", r.WorkloadID, r.Title, r.Paper, r.Text)
+		if _, err := fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", r.WorkloadID, r.Title, r.Paper, r.Text); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// TestParamsCanonicalShuffledInsertion is the store-key regression test:
+// however the Values map is populated, the canonical encoding (and hence
+// the store key derived from it) must come out identical.
+func TestParamsCanonicalShuffledInsertion(t *testing.T) {
+	pairs := [][2]string{
+		{"n", "512"}, {"nb", "16"}, {"procs", "64"},
+		{"pattern", "transpose"}, {"bytes", "1024"}, {"alpha", "0.5"},
+	}
+	want := ""
+	rng := rand.New(rand.NewSource(1992))
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(len(pairs))
+		p := Params{Quick: true, Seed: 7}
+		for _, i := range order {
+			p = p.WithValue(pairs[i][0], pairs[i][1])
+		}
+		got := p.Canonical()
+		if trial == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d (insertion order %v): canonical %q != %q", trial, order, got, want)
+		}
+	}
+	if want == "" {
+		t.Fatal("canonical encoding is empty")
+	}
+}
+
+// TestParamsCanonicalDistinguishes checks injectivity on the cases a naive
+// "join k=v with separators" encoding would conflate.
+func TestParamsCanonicalDistinguishes(t *testing.T) {
+	cases := [][2]Params{
+		{{Values: map[string]string{"a": "1;b=2"}}, {Values: map[string]string{"a": "1", "b": "2"}}},
+		{{Values: map[string]string{"a=b": "c"}}, {Values: map[string]string{"a": "b=c"}}},
+		{{Quick: true}, {Quick: false}},
+		{{Seed: 1}, {Seed: 0}},
+		{{Values: map[string]string{"n": "1"}}, {Values: map[string]string{"n": "10"}}},
+	}
+	for i, c := range cases {
+		if a, b := c[0].Canonical(), c[1].Canonical(); a == b {
+			t.Errorf("case %d: distinct params canonicalize identically: %q", i, a)
+		}
+	}
+}
+
+// TestParamsCanonicalEmptyValues: a nil map and an empty map are the same
+// parameter point.
+func TestParamsCanonicalEmptyValues(t *testing.T) {
+	a := Params{Quick: true}
+	b := Params{Quick: true, Values: map[string]string{}}
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("nil vs empty Values: %q != %q", a.Canonical(), b.Canonical())
+	}
+}
+
+// TestResultJSONStable: marshaling the same Result twice yields identical
+// bytes (the store's byte-identity round trip depends on it).
+func TestResultJSONStable(t *testing.T) {
+	r := Result{WorkloadID: "app/x", Title: "T", Text: "body\n"}
+	r.AddMetric("gflops", 13.9, "GFLOPS")
+	r.AddMetric("simulated-s", 0.25, "s")
+	a, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("unstable Result JSON:\n%s\n%s", a, b)
+	}
+	m, ok := r.Metric("simulated-s")
+	if !ok || m.Value != 0.25 || m.Unit != "s" {
+		t.Errorf("Metric lookup: got %+v, %v", m, ok)
+	}
+	if _, ok := r.Metric("missing"); ok {
+		t.Error("Metric found a metric that does not exist")
+	}
+}

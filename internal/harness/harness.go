@@ -16,13 +16,40 @@
 //
 // and is then reachable by ID through Lookup, runnable through the sweep
 // engine in sweep.go, and visible to the hpcc CLI.
+//
+// # The Workload → Registry → Sweep → Store pipeline
+//
+// The packages above this one compose into a fixed pipeline:
+//
+//   - A Workload (this package) turns one experiment into a uniform unit:
+//     a stable ID, a documented ParamSpace, and a deterministic
+//     Run(ctx, Params) → Result.
+//   - The Registry (registry.go) collects workloads at init time and
+//     serves them in a deterministic order, so every listing, report and
+//     full sweep walks the portfolio identically.
+//   - The Sweep engine (sweep.go) fans Jobs out across host cores and
+//     assembles Results in job order, making parallel output
+//     byte-identical to sequential output.
+//   - The Store (package repro/internal/store) persists Results keyed by
+//     workload ID + Params.Canonical() + commit, so runs from different
+//     commits can be diffed for regressions (package repro/internal/report
+//     renders the delta tables; the hpcc CLI in repro/internal/cli wires
+//     it all to flags).
+//
+// Result and Params therefore have stable JSON encodings: Params.Values
+// is canonicalized by Canonical regardless of map insertion order, and
+// Result marshals with fixed field order, so a stored record re-read from
+// the store is byte-identical to the one written.
 package harness
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/url"
+	"sort"
 	"strconv"
+	"strings"
 )
 
 // Param documents one tunable dimension of a workload's parameter space:
@@ -79,6 +106,32 @@ func (p Params) Int(name string, def int) (int, error) {
 	return n, nil
 }
 
+// Canonical returns a deterministic, injective encoding of p: the
+// universal knobs first, then the Values entries sorted by key, each
+// segment query-escaped so no key or value can collide with the
+// separators. Two Params with the same settings canonicalize identically
+// regardless of map insertion order — this string (not the map's
+// iteration order) is what the run store keys records by.
+func (p Params) Canonical() string {
+	var b strings.Builder
+	b.WriteString("quick=")
+	b.WriteString(strconv.FormatBool(p.Quick))
+	b.WriteString(";seed=")
+	b.WriteString(strconv.FormatInt(p.Seed, 10))
+	keys := make([]string, 0, len(p.Values))
+	for k := range p.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b.WriteByte(';')
+		b.WriteString(url.QueryEscape(k))
+		b.WriteByte('=')
+		b.WriteString(url.QueryEscape(p.Values[k]))
+	}
+	return b.String()
+}
+
 // Float returns the override for name parsed as a float64, or def when
 // absent.
 func (p Params) Float(name string, def float64) (float64, error) {
@@ -119,6 +172,19 @@ type Result struct {
 // AddMetric appends a named quantity to the result.
 func (r *Result) AddMetric(name string, value float64, unit string) {
 	r.Metrics = append(r.Metrics, Metric{Name: name, Value: value, Unit: unit})
+}
+
+// Metric returns the first metric with the given name, and whether one
+// exists — a convenience for tests and downstream tools. (The delta
+// reporter pairs metrics by name *and* occurrence index, since duplicate
+// names are legal; see repro/internal/store.Diff.)
+func (r Result) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
 }
 
 // JSON renders the result as indented JSON terminated by a newline.

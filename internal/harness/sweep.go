@@ -139,13 +139,21 @@ func SweepWorkloads(ctx context.Context, ws []Workload, base Params, workers int
 	return Sweep(ctx, jobs, workers)
 }
 
-// SweepValues expands one workload over successive overrides of a single
-// parameter and runs the points concurrently: the classic
-// "GFLOPS vs block size" sweep.
-func SweepValues(ctx context.Context, w Workload, base Params, name string, values []string, workers int) ([]Result, error) {
+// ValueJobs expands one workload over successive overrides of a single
+// parameter into sweep jobs. It is the one place that derives the
+// per-point Params, so callers that persist results (the run store) see
+// exactly the parameters each job ran with.
+func ValueJobs(w Workload, base Params, name string, values []string) []Job {
 	jobs := make([]Job, len(values))
 	for i, v := range values {
 		jobs[i] = Job{Workload: w, Params: base.WithValue(name, v)}
 	}
-	return Sweep(ctx, jobs, workers)
+	return jobs
+}
+
+// SweepValues expands one workload over successive overrides of a single
+// parameter and runs the points concurrently: the classic
+// "GFLOPS vs block size" sweep.
+func SweepValues(ctx context.Context, w Workload, base Params, name string, values []string, workers int) ([]Result, error) {
+	return Sweep(ctx, ValueJobs(w, base, name, values), workers)
 }

@@ -1,0 +1,197 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DeltaStatus classifies one metric's movement between two runs.
+type DeltaStatus string
+
+// Delta statuses. A row is regressed or improved only when its relative
+// change exceeds the report's threshold; smaller movements are "ok".
+const (
+	DeltaOK        DeltaStatus = "ok"
+	DeltaImproved  DeltaStatus = "improved"
+	DeltaRegressed DeltaStatus = "regressed"
+)
+
+// DeltaRow is one metric compared across two runs of the same workload
+// point (same workload ID and canonical parameters).
+type DeltaRow struct {
+	// Point names the workload point: the workload ID plus any
+	// non-default parameters.
+	Point  string `json:"point"`
+	Metric string `json:"metric"`
+	Unit   string `json:"unit,omitempty"`
+	// Old and New are the metric values in the older and newer snapshot.
+	Old float64 `json:"old"`
+	New float64 `json:"new"`
+	// Delta is New - Old.
+	Delta float64 `json:"delta"`
+	// Pct is the relative change (New-Old)/|Old| as a fraction. When Old
+	// is zero and New is not, it is clamped to ±1 (a 100% change).
+	Pct    float64     `json:"pct"`
+	Status DeltaStatus `json:"status"`
+}
+
+// DeltaReport compares two result snapshots metric by metric. Rows cover
+// the workload points present in both snapshots; Added and Removed name
+// points present in only one; MetricsAdded and MetricsRemoved name
+// "point: metric" pairs that appeared or vanished within a paired point —
+// a vanished metric breaks the longitudinal series, so the diff gate
+// treats it as a failure rather than letting it drop out silently.
+type DeltaReport struct {
+	OldRef         string     `json:"old"`
+	NewRef         string     `json:"new"`
+	Threshold      float64    `json:"threshold"`
+	Rows           []DeltaRow `json:"rows"`
+	Added          []string   `json:"added,omitempty"`
+	Removed        []string   `json:"removed,omitempty"`
+	MetricsAdded   []string   `json:"metrics_added,omitempty"`
+	MetricsRemoved []string   `json:"metrics_removed,omitempty"`
+	// TextChanged names metric-less points (pure-text exhibits) whose
+	// rendered output changed between snapshots — the only regression
+	// signal such points have.
+	TextChanged []string `json:"text_changed,omitempty"`
+}
+
+// Classify compares one metric across two runs: it returns the relative
+// change and its status given the threshold (a fraction; 0.05 = 5%) and
+// the metric's good direction. With oldV zero and newV nonzero the
+// relative change is clamped to ±1.
+func Classify(oldV, newV, threshold float64, lowerIsBetter bool) (pct float64, status DeltaStatus) {
+	switch {
+	case oldV == newV:
+		return 0, DeltaOK
+	case oldV == 0:
+		if newV > 0 {
+			pct = 1
+		} else {
+			pct = -1
+		}
+	default:
+		pct = (newV - oldV) / math.Abs(oldV)
+	}
+	if math.Abs(pct) <= threshold {
+		return pct, DeltaOK
+	}
+	worse := pct > 0
+	if !lowerIsBetter {
+		worse = pct < 0
+	}
+	if worse {
+		return pct, DeltaRegressed
+	}
+	return pct, DeltaImproved
+}
+
+// lowerBetterWords mark metrics where a smaller value is the good
+// direction (times, latencies, residuals...). Everything else — rates,
+// counts, efficiencies — is treated as higher-is-better.
+var lowerBetterWords = []string{
+	"time", "latency", "duration", "overhead", "error", "residual",
+	"loss", "hop", "stall", "cost", "cycle", "drain",
+}
+
+// lowerBetterUnits are units that denote elapsed time or distance-like
+// cost regardless of the metric's name.
+var lowerBetterUnits = map[string]bool{
+	"s": true, "sec": true, "seconds": true, "ms": true, "us": true,
+	"µs": true, "ns": true, "min": true, "hours": true, "cycles": true,
+	"hops": true,
+}
+
+// LowerIsBetter reports the good direction for a metric from its name and
+// unit: true when a decrease is an improvement. The default is false
+// (higher is better), which fits rates like GFLOPS and MB/s.
+func LowerIsBetter(name, unit string) bool {
+	n := strings.ToLower(name)
+	for _, w := range lowerBetterWords {
+		if strings.Contains(n, w) {
+			return true
+		}
+	}
+	return lowerBetterUnits[strings.ToLower(unit)]
+}
+
+// Regressions returns the rows whose status is DeltaRegressed.
+func (d *DeltaReport) Regressions() []DeltaRow {
+	var out []DeltaRow
+	for _, r := range d.Rows {
+		if r.Status == DeltaRegressed {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summary is a one-line accounting of the comparison, printed after the
+// table.
+func (d *DeltaReport) Summary() string {
+	regressed, improved := 0, 0
+	for _, r := range d.Rows {
+		switch r.Status {
+		case DeltaRegressed:
+			regressed++
+		case DeltaImproved:
+			improved++
+		}
+	}
+	s := fmt.Sprintf("%d metric(s) compared: %d regressed, %d improved",
+		len(d.Rows), regressed, improved)
+	if len(d.Added) > 0 {
+		s += fmt.Sprintf(", %d point(s) added", len(d.Added))
+	}
+	if len(d.Removed) > 0 {
+		s += fmt.Sprintf(", %d point(s) removed", len(d.Removed))
+	}
+	if len(d.MetricsAdded) > 0 {
+		s += fmt.Sprintf(", %d metric(s) added", len(d.MetricsAdded))
+	}
+	if len(d.MetricsRemoved) > 0 {
+		s += fmt.Sprintf(", %d metric(s) REMOVED (%s)",
+			len(d.MetricsRemoved), strings.Join(d.MetricsRemoved, ", "))
+	}
+	if len(d.TextChanged) > 0 {
+		s += fmt.Sprintf(", %d text exhibit(s) CHANGED (%s)",
+			len(d.TextChanged), strings.Join(d.TextChanged, ", "))
+	}
+	return s
+}
+
+// Gates reports whether the comparison should fail a regression gate: a
+// metric regressed past the threshold, a tracked metric or whole point
+// vanished, or a metric-less exhibit's text changed. Additions never
+// gate — new coverage is progress, not regression.
+func (d *DeltaReport) Gates() bool {
+	return len(d.Regressions()) > 0 || len(d.MetricsRemoved) > 0 ||
+		len(d.Removed) > 0 || len(d.TextChanged) > 0
+}
+
+// Table renders the report as a text table using the same machinery as
+// every other exhibit.
+func (d *DeltaReport) Table() *Table {
+	t := NewTable(
+		fmt.Sprintf("Delta report: %s -> %s (threshold %.4g%%)", d.OldRef, d.NewRef, d.Threshold*100),
+		"Point", "Metric", "Unit", "Old", "New", "Delta", "Delta%", "Status")
+	t.Aligns = []Align{Left, Left, Left, Right, Right, Right, Right, Left}
+	for _, r := range d.Rows {
+		t.AddRow(r.Point, r.Metric, r.Unit,
+			Cellf("%.6g", r.Old), Cellf("%.6g", r.New),
+			Cellf("%+.6g", r.Delta), Cellf("%+.2f%%", r.Pct*100),
+			string(r.Status))
+	}
+	return t
+}
+
+// JSON returns the report as indented JSON terminated by a newline.
+func (d *DeltaReport) JSON() (string, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("report: encode delta report: %w", err)
+	}
+	return string(b) + "\n", nil
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name        string
+		old, new    float64
+		threshold   float64
+		lowerBetter bool
+		wantStatus  DeltaStatus
+		wantPct     float64
+	}{
+		{"equal", 10, 10, 0.05, false, DeltaOK, 0},
+		{"small wobble", 100, 101, 0.05, false, DeltaOK, 0.01},
+		{"rate drop regresses", 100, 80, 0.05, false, DeltaRegressed, -0.2},
+		{"rate gain improves", 100, 120, 0.05, false, DeltaImproved, 0.2},
+		{"time growth regresses", 1.0, 1.5, 0.05, true, DeltaRegressed, 0.5},
+		{"time drop improves", 2.0, 1.0, 0.05, true, DeltaImproved, -0.5},
+		{"exactly threshold is ok", 100, 95, 0.05, false, DeltaOK, -0.05},
+		{"zero old clamps to +100%", 0, 3, 0.05, true, DeltaRegressed, 1},
+		{"negative old uses magnitude", -10, -5, 0.05, true, DeltaRegressed, 0.5},
+	}
+	for _, c := range cases {
+		pct, status := Classify(c.old, c.new, c.threshold, c.lowerBetter)
+		if status != c.wantStatus {
+			t.Errorf("%s: status = %s, want %s", c.name, status, c.wantStatus)
+		}
+		if diff := pct - c.wantPct; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("%s: pct = %g, want %g", c.name, pct, c.wantPct)
+		}
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	cases := []struct {
+		name, unit string
+		want       bool
+	}{
+		{"gflops", "GFLOPS", false},
+		{"simulated-s", "s", true},
+		{"drain-s", "s", true},
+		{"p95-duration-s", "s", true},
+		{"bisection-MBps", "MB/s", false},
+		{"mean-latency", "", true},
+		{"residual", "", true},
+		{"pairs", "", false},
+		{"efficiency", "", false},
+	}
+	for _, c := range cases {
+		if got := LowerIsBetter(c.name, c.unit); got != c.want {
+			t.Errorf("LowerIsBetter(%q, %q) = %v, want %v", c.name, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestDeltaReportTableAndJSON(t *testing.T) {
+	d := &DeltaReport{
+		OldRef:    "latest~1",
+		NewRef:    "latest",
+		Threshold: 0.05,
+		Rows: []DeltaRow{
+			{Point: "linpack/delta", Metric: "gflops", Unit: "GFLOPS",
+				Old: 13.9, New: 12.0, Delta: -1.9, Pct: -0.1367, Status: DeltaRegressed},
+			{Point: "app/nas-ep", Metric: "simulated-s", Unit: "s",
+				Old: 0.25, New: 0.25, Delta: 0, Pct: 0, Status: DeltaOK},
+		},
+		Added:   []string{"app/new-kernel"},
+		Removed: nil,
+	}
+	if n := len(d.Regressions()); n != 1 {
+		t.Fatalf("Regressions() = %d rows, want 1", n)
+	}
+	out := d.Table().Render()
+	for _, want := range []string{"linpack/delta", "gflops", "regressed", "Delta report", "latest~1 -> latest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	sum := d.Summary()
+	if !strings.Contains(sum, "2 metric(s) compared") || !strings.Contains(sum, "1 regressed") ||
+		!strings.Contains(sum, "1 point(s) added") {
+		t.Errorf("unexpected summary: %q", sum)
+	}
+
+	s, err := d.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DeltaReport
+	if err := json.Unmarshal([]byte(s), &back); err != nil {
+		t.Fatalf("delta JSON does not round-trip: %v", err)
+	}
+	if back.Rows[0].Status != DeltaRegressed || back.Threshold != 0.05 {
+		t.Errorf("round-tripped report lost fields: %+v", back)
+	}
+}

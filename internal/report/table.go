@@ -1,6 +1,14 @@
 // Package report renders the tables, ASCII charts and CSV exports used to
 // regenerate every exhibit of the paper. All output is plain text so that
 // benchmark harnesses can print the same rows the paper reports.
+//
+// The package sits below the harness in the Workload → Registry → Sweep →
+// Store pipeline and depends only on the standard library: workloads use
+// Table/BarChart to render their Results, and the store's diff layer uses
+// DeltaReport (delta.go) to render per-metric comparisons between two
+// stored snapshots — Classify decides whether a metric moved past the
+// regression threshold, and LowerIsBetter supplies each metric's good
+// direction from its name and unit.
 package report
 
 import (

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/report"
+)
+
+// Diff compares two snapshots metric by metric. Records are paired by
+// point key (workload ID + canonical params); within a pair, metrics are
+// matched by (name, occurrence index) in the newer result's order, and
+// metrics present on only one side are recorded in
+// MetricsAdded/MetricsRemoved rather than dropped (a vanished metric
+// fails the diff gate). A paired point whose baseline had no metrics — a
+// pure-text exhibit — is compared by rendered text instead and recorded
+// in TextChanged when it moved. Points
+// present in only one snapshot are listed as added or removed rather
+// than compared. The
+// threshold is the relative change (as a fraction) beyond which a metric
+// counts as regressed or improved; the good direction per metric comes
+// from report.LowerIsBetter.
+func Diff(oldSnap, newSnap Snapshot, threshold float64) *report.DeltaReport {
+	d := &report.DeltaReport{
+		OldRef:    oldSnap.Desc(),
+		NewRef:    newSnap.Desc(),
+		Threshold: threshold,
+	}
+
+	// Last record wins when a snapshot holds the same point twice (a
+	// re-run within one append).
+	oldByKey := make(map[string]Record)
+	for _, r := range oldSnap.Records {
+		oldByKey[r.Key] = r
+	}
+	newByKey := make(map[string]Record)
+	for _, r := range newSnap.Records {
+		newByKey[r.Key] = r
+	}
+
+	seen := make(map[string]bool)
+	for _, newRec := range newSnap.Records {
+		if seen[newRec.Key] {
+			continue
+		}
+		seen[newRec.Key] = true
+		newRec = newByKey[newRec.Key]
+		oldRec, ok := oldByKey[newRec.Key]
+		if !ok {
+			d.Added = append(d.Added, pointLabel(newRec))
+			continue
+		}
+		point := pointLabel(newRec)
+		// A point that was metric-less in the baseline (the pure-text
+		// exhibits) has only its rendered output to compare; compare the
+		// text itself so the check still fires if the point gained a
+		// metric in the same change that corrupted its rendering.
+		if len(oldRec.Result.Metrics) == 0 &&
+			newRec.Result.Text != oldRec.Result.Text {
+			d.TextChanged = append(d.TextChanged, point)
+		}
+		// Pair metrics by (name, occurrence index): nothing stops a
+		// workload from emitting two metrics with one name, and pairing
+		// only the first would silently drop the rest from the gate.
+		oldByName := make(map[string][]harness.Metric)
+		for _, m := range oldRec.Result.Metrics {
+			oldByName[m.Name] = append(oldByName[m.Name], m)
+		}
+		used := make(map[string]int)
+		for _, m := range newRec.Result.Metrics {
+			k := used[m.Name]
+			used[m.Name] = k + 1
+			olds := oldByName[m.Name]
+			if k >= len(olds) {
+				d.MetricsAdded = append(d.MetricsAdded, point+": "+m.Name)
+				continue
+			}
+			oldM := olds[k]
+			pct, status := report.Classify(oldM.Value, m.Value, threshold,
+				report.LowerIsBetter(m.Name, m.Unit))
+			d.Rows = append(d.Rows, report.DeltaRow{
+				Point:  point,
+				Metric: m.Name,
+				Unit:   m.Unit,
+				Old:    oldM.Value,
+				New:    m.Value,
+				Delta:  m.Value - oldM.Value,
+				Pct:    pct,
+				Status: status,
+			})
+		}
+		occ := make(map[string]int)
+		for _, oldM := range oldRec.Result.Metrics {
+			i := occ[oldM.Name]
+			occ[oldM.Name] = i + 1
+			if i >= used[oldM.Name] {
+				d.MetricsRemoved = append(d.MetricsRemoved, point+": "+oldM.Name)
+			}
+		}
+	}
+	for _, key := range oldSnap.SortedKeys() {
+		if _, ok := newByKey[key]; !ok {
+			d.Removed = append(d.Removed, pointLabel(oldByKey[key]))
+		}
+	}
+	return d
+}
+
+// pointLabel names a workload point for report rows: the workload ID plus
+// any non-default parameters, e.g. "linpack/delta [nb=8 quick]".
+func pointLabel(r Record) string {
+	var parts []string
+	keys := make([]string, 0, len(r.Params.Values))
+	for k := range r.Params.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, k+"="+r.Params.Values[k])
+	}
+	if r.Params.Quick {
+		parts = append(parts, "quick")
+	}
+	if r.Params.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", r.Params.Seed))
+	}
+	if len(parts) == 0 {
+		return r.WorkloadID
+	}
+	return r.WorkloadID + " [" + strings.Join(parts, " ") + "]"
+}
