@@ -6,11 +6,12 @@
 //
 // Usage:
 //
-//	hpcc report [-quick] [-j N] [-e E4] [-json] [-store DIR]
+//	hpcc report [-quick] [-j N] [-shards N] [-e E4] [-json] [-store DIR]
 //	hpcc list [-json]
 //	hpcc run <workload-id> [-quick] [-seed S] [-p name=value] [-json] [-store DIR]
-//	hpcc sweep [-ids a,b,c] [-j N] [-json] [-store DIR]
+//	hpcc sweep [-ids a,b,c] [-j N] [-shards N] [-json] [-store DIR]
 //	hpcc sweep -param nb -values 4,8,16 linpack/delta
+//	hpcc worker   # shard child: JSONL jobs on stdin, results on stdout
 //	hpcc diff [-store DIR] [-threshold 0.05] [-json] [old-ref [new-ref]]
 //	hpcc linpack | nren | delta | funding   # the old binaries
 //

@@ -7,6 +7,8 @@
 //	hpcc list               # the workload catalog
 //	hpcc run linpack/delta  # one workload
 //	hpcc sweep -ids E1,E4   # a portfolio slice
+//	hpcc sweep -shards 4    # the same sweep across 4 worker processes
+//	hpcc worker             # shard child: JSONL jobs in, results out
 //	hpcc diff latest~1 latest  # compare two stored snapshots
 //	hpcc linpack -sweep nb  # the old linpack binary
 //	hpcc nren -storm        # the old nrensim binary
@@ -18,14 +20,19 @@
 // Each workload package registers itself with repro/internal/harness at
 // init time (the blank imports below pull every family in). The
 // subcommands then only ever talk to the registry: list walks it, run
-// looks one workload up, and report/sweep hand Jobs to the concurrent
-// sweep engine, whose in-order assembly keeps output byte-identical at
-// any -j. With -store, run/sweep/report additionally append their
-// structured results to a repro/internal/store run store as one snapshot
-// (keyed by workload ID + canonical params + commit), and diff resolves
-// two snapshots by ref (latest, latest~N, a tag, a commit prefix, a run
-// ID), renders a per-metric delta table via repro/internal/report, and
-// exits non-zero when a metric regresses past -threshold — the CI gate.
+// looks one workload up, and report/sweep hand Jobs to a
+// harness.Executor — the in-process pool (-j), or with -shards N a
+// process-shard executor that re-execs this binary as N `hpcc worker`
+// children and farms jobs to them over a JSONL stdin/stdout wire. Both
+// executors assemble results in job order and stream each finished
+// prefix as it completes, so output is byte-identical at any -j or
+// -shards while long sweeps show progress. With -store, run/sweep/report
+// additionally append their structured results to a repro/internal/store
+// run store as one snapshot (keyed by workload ID + canonical params +
+// commit), and diff resolves two snapshots by ref (latest, latest~N, a
+// tag, a commit prefix, a run ID), renders a per-metric delta table via
+// repro/internal/report, and exits non-zero when a metric regresses past
+// -threshold — the CI gate.
 package cli
 
 import (
@@ -59,6 +66,7 @@ func commands() []command {
 		{"list", "list the registered workloads and their parameters", cmdList},
 		{"run", "run one workload by ID", cmdRun},
 		{"sweep", "run a set of workloads, or one workload over parameter values", cmdSweep},
+		{"worker", "serve sweep jobs from stdin as JSONL (the -shards child process)", cmdWorker},
 		{"diff", "compare two stored snapshots and flag metric regressions", cmdDiff},
 		{"linpack", "LINPACK benchmark and parameter sweeps (legacy tool)", cmdLinpack},
 		{"nren", "consortium network experiments (legacy tool)", cmdNren},

@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -36,11 +37,18 @@ func splitLeadingID(args []string) (id string, rest []string) {
 // paramFlags collects repeated -p name=value workload overrides.
 type paramFlags struct{ vals map[string]string }
 
-// String implements flag.Value.
+// String implements flag.Value. Keys are sorted so -h output and flag
+// defaults render identically run to run (map iteration order is
+// randomized).
 func (p *paramFlags) String() string {
-	parts := make([]string, 0, len(p.vals))
-	for k, v := range p.vals {
-		parts = append(parts, k+"="+v)
+	keys := make([]string, 0, len(p.vals))
+	for k := range p.vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+p.vals[k])
 	}
 	return strings.Join(parts, ",")
 }
@@ -63,6 +71,7 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	fs.SetOutput(stderr)
 	quick := fs.Bool("quick", false, "scale down the expensive experiments")
 	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
+	shards := fs.Int("shards", 0, "fan exhibits out to N hpcc worker processes (0 = in-process -j pool; output is identical either way)")
 	exp := fs.String("e", "", "run a single experiment by ID (E1..E7)")
 	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
 	var sf storeFlags
@@ -87,7 +96,22 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		}
 		return sf.persist(ctx, []store.Entry{{Params: reportParams, Result: res}}, stderr)
 	}
-	results, err := prog.ReportResults(ctx, *jobs)
+	ex, err := newExecutor(*shards, *jobs, stderr)
+	if err != nil {
+		return err
+	}
+	// Text output streams: each exhibit prints as soon as every exhibit
+	// before it has finished, so long reports show progress. The bytes
+	// are identical to the old print-at-the-end path.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	emit, emitErr := streamEmitter(jsonOut, cancelRun, func(r harness.Result) error {
+		return core.WriteResult(stdout, r)
+	})
+	results, err := prog.ReportResultsExec(runCtx, ex, emit)
+	if werr := *emitErr; werr != nil {
+		return werr
+	}
 	if err != nil {
 		return err
 	}
@@ -95,10 +119,29 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		if err := writeJSON(stdout, results); err != nil {
 			return err
 		}
-	} else if err := core.WriteResults(stdout, results); err != nil {
-		return err
 	}
 	return sf.persistResults(ctx, results, func(int) harness.Params { return reportParams }, stderr)
+}
+
+// streamEmitter adapts a per-result writer into an Executor emit
+// callback for text output (JSON callers need the whole slice, so they
+// get a nil emit and print at the end). Emit itself cannot fail the
+// executor, so the first write error cancels the run via cancelRun —
+// there is no point computing results whose output can never be
+// delivered — and lands in the returned pointer, which the caller must
+// check before the executor's error (the cancellation is a symptom).
+func streamEmitter(jsonOut *bool, cancelRun context.CancelFunc, write func(harness.Result) error) (func(int, harness.Result), *error) {
+	errp := new(error)
+	if *jsonOut {
+		return nil, errp
+	}
+	return func(_ int, r harness.Result) {
+		if *errp == nil {
+			if *errp = write(r); *errp != nil {
+				cancelRun()
+			}
+		}
+	}, errp
 }
 
 // writeResult renders one result to w as JSON or text. Callers print
@@ -212,6 +255,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	fs.SetOutput(stderr)
 	ids := fs.String("ids", "", "comma-separated workload IDs (default: every registered workload)")
 	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
+	shards := fs.Int("shards", 0, "fan jobs out to N hpcc worker processes (0 = in-process -j pool; output is identical either way)")
 	quick := fs.Bool("quick", false, "scaled-down smoke configurations")
 	seed := fs.Int64("seed", 0, "seed for randomized workloads")
 	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
@@ -237,11 +281,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 
 	base := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
 
-	// jobParams mirrors the per-result parameters so persisted records
-	// carry the exact point each result ran at.
-	var jobParams []harness.Params
-	var results []harness.Result
-	var err error
+	var jobList []harness.Job
 	switch {
 	case *param != "":
 		// One workload, many points: hpcc sweep linpack/delta -param nb -values 4,8,16
@@ -255,11 +295,11 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		if lerr != nil {
 			return lerr
 		}
-		jobList := harness.ValueJobs(w, base, *param, strings.Split(*values, ","))
-		for _, j := range jobList {
-			jobParams = append(jobParams, j.Params)
+		vals, verr := splitValues(*values)
+		if verr != nil {
+			return verr
 		}
-		results, err = harness.Sweep(ctx, jobList, *jobs)
+		jobList = harness.ValueJobs(w, base, *param, vals)
 	case id != "":
 		return errors.New("sweep: a positional workload ID needs -param/-values; use -ids for a portfolio")
 	default:
@@ -275,32 +315,65 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 				ws = append(ws, w)
 			}
 		}
-		jobParams = make([]harness.Params, len(ws))
-		for i := range ws {
-			jobParams[i] = base
-		}
-		results, err = harness.SweepWorkloads(ctx, ws, base, *jobs)
+		jobList = harness.WorkloadJobs(ws, base)
+	}
+
+	ex, err := newExecutor(*shards, *jobs, stderr)
+	if err != nil {
+		return err
+	}
+	// Text output streams: each point prints as soon as every point
+	// before it has finished, so huge sweeps show progress; the bytes
+	// are identical to the old print-at-the-end path. Printing precedes
+	// persisting either way: a store failure must not discard results
+	// the sweep already produced.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	emit, emitErr := streamEmitter(jsonOut, cancelRun, func(r harness.Result) error {
+		return writeSweepResult(stdout, r)
+	})
+	results, err := ex.Execute(runCtx, jobList, emit)
+	if werr := *emitErr; werr != nil {
+		return werr
 	}
 	if err != nil {
 		return err
 	}
-
-	// Print before persisting: a store failure must not discard the
-	// results the sweep already produced.
 	if *jsonOut {
 		if err := writeJSON(stdout, results); err != nil {
 			return err
 		}
-	} else {
-		for _, r := range results {
-			if r.Title != "" {
-				fmt.Fprintf(stdout, "=== %s: %s ===\n\n%s\n", r.WorkloadID, r.Title, r.Text)
-			} else {
-				fmt.Fprintf(stdout, "=== %s ===\n\n%s\n", r.WorkloadID, r.Text)
-			}
-		}
 	}
-	return sf.persistResults(ctx, results, func(i int) harness.Params { return jobParams[i] }, stderr)
+	// jobList mirrors the per-result parameters so persisted records
+	// carry the exact point each result ran at.
+	return sf.persistResults(ctx, results, func(i int) harness.Params { return jobList[i].Params }, stderr)
+}
+
+// writeSweepResult renders one sweep point in the sweep's text format.
+func writeSweepResult(w io.Writer, r harness.Result) error {
+	var err error
+	if r.Title != "" {
+		_, err = fmt.Fprintf(w, "=== %s: %s ===\n\n%s\n", r.WorkloadID, r.Title, r.Text)
+	} else {
+		_, err = fmt.Fprintf(w, "=== %s ===\n\n%s\n", r.WorkloadID, r.Text)
+	}
+	return err
+}
+
+// splitValues parses a -values list: comma-separated, each entry
+// whitespace-trimmed (so "4, 8, 16" works like -ids does), empty entries
+// rejected rather than silently swept as bogus parameter values.
+func splitValues(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, v := range parts {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return nil, fmt.Errorf("sweep: empty value in -values %q", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // writeJSON emits v as indented JSON terminated by a newline.

@@ -1,0 +1,53 @@
+package cli
+
+// Process-sharded sweeps: the `hpcc worker` subcommand (the child side
+// of the harness JSONL wire protocol) and the -shards executor wiring
+// used by sweep and report.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/harness"
+)
+
+// workerEnv marks a process as a shard worker in its environment. The
+// real hpcc binary dispatches on the "worker" argument alone; the marker
+// is what lets a test binary hosting this package detect that it was
+// re-exec'ed as a worker.
+const workerEnv = "HPCC_WORKER_PROCESS"
+
+func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc worker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+	if fs.NArg() > 0 {
+		return errors.New("worker: takes no arguments (jobs arrive as JSONL on stdin)")
+	}
+	return harness.ServeWorker(ctx, harness.Default, os.Stdin, stdout)
+}
+
+// newExecutor picks the engine a sweep or report runs on: the in-process
+// pool, or (-shards > 0) that many child processes re-exec'ing this
+// binary's worker subcommand.
+func newExecutor(shards, jobs int, stderr io.Writer) (harness.Executor, error) {
+	if shards <= 0 {
+		return harness.LocalExecutor{Workers: jobs}, nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("shards: locate worker binary: %w", err)
+	}
+	return &harness.ShardExecutor{
+		Shards: shards,
+		Argv:   []string{exe, "worker"},
+		Env:    []string{workerEnv + "=1"},
+		Stderr: stderr,
+	}, nil
+}

@@ -231,11 +231,24 @@ func (p *Program) WriteReport(w io.Writer) error {
 // structured results in paper order — the order is deterministic however
 // many workers run.
 func (p *Program) ReportResults(ctx context.Context, workers int) ([]harness.Result, error) {
+	return p.ReportResultsExec(ctx, harness.LocalExecutor{Workers: workers}, nil)
+}
+
+// ReportResultsExec runs every exhibit on the given executor and returns
+// the structured results in paper order. emit, when non-nil, streams each
+// result in paper order as soon as every exhibit before it has finished
+// (the harness.Executor contract), so long reports show progress.
+//
+// With a process-sharding executor the exhibits travel by registry ID and
+// rerun in the worker against a fresh default Program; only
+// Params{Quick: p.Quick} crosses the process boundary, so a Program with
+// any other field customized should stick to an in-process executor.
+func (p *Program) ReportResultsExec(ctx context.Context, ex harness.Executor, emit func(int, harness.Result)) ([]harness.Result, error) {
 	jobs := make([]harness.Job, len(exhibits))
 	for i, e := range exhibits {
 		jobs[i] = harness.Job{Workload: e.bind(p), Params: harness.Params{Quick: p.Quick}}
 	}
-	results, err := harness.Sweep(ctx, jobs, workers)
+	results, err := ex.Execute(ctx, jobs, emit)
 	if err != nil {
 		var je *harness.JobError
 		if errors.As(err, &je) {
@@ -264,11 +277,18 @@ func (p *Program) WriteReportJobs(ctx context.Context, w io.Writer, workers int)
 // print the byte-identical report.
 func WriteResults(w io.Writer, results []harness.Result) error {
 	for _, r := range results {
-		if _, err := fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", r.WorkloadID, r.Title, r.Paper, r.Text); err != nil {
+		if err := WriteResult(w, r); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteResult renders one exhibit result in the report's text format —
+// the unit streaming report paths print as each result completes.
+func WriteResult(w io.Writer, r harness.Result) error {
+	_, err := fmt.Fprintf(w, "=== %s: %s ===\npaper: %s\n\n%s\n", r.WorkloadID, r.Title, r.Paper, r.Text)
+	return err
 }
 
 func runE1(*Program) (string, error) {

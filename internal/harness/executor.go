@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"context"
+	"sync"
+)
+
+// Executor runs a batch of sweep jobs and assembles their Results in job
+// order. Two implementations exist: LocalExecutor, the in-process
+// goroutine pool Sweep has always used, and ShardExecutor (shard.go),
+// which fans jobs out to child worker processes over the JSONL wire
+// protocol in wire.go. Both promise the same contract, so output is
+// byte-identical whichever executor a sweep runs on.
+type Executor interface {
+	// Execute runs jobs and returns their Results in job order. On
+	// failure it returns the error of the lowest-indexed failed job
+	// (typically a *JobError) and only the longest fully-completed
+	// prefix of results — never zero-value placeholders.
+	//
+	// emit, when non-nil, is called with (index, result) in strictly
+	// ascending index order as the completed prefix grows, so callers
+	// can stream finished results while later jobs are still running.
+	// Calls are serialized; emit never runs concurrently with itself.
+	Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error)
+}
+
+// LocalExecutor runs jobs on a pool of goroutines in this process — the
+// sweep engine's classic mode.
+type LocalExecutor struct {
+	// Workers is the pool size; < 1 means DefaultWorkers().
+	Workers int
+}
+
+// Execute implements Executor on the in-process pool.
+func (e LocalExecutor) Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error) {
+	return sweepEmit(ctx, jobs, e.Workers, emit)
+}
+
+// assembler collects out-of-order job completions and surfaces them as
+// an in-order completed prefix: results[i] becomes visible (and is
+// emitted) only once every result before it has landed. Both executors
+// share it, which is what keeps their output byte-identical.
+type assembler struct {
+	mu      sync.Mutex
+	results []Result
+	done    []bool
+	next    int // first index not yet part of the completed prefix
+	emit    func(int, Result)
+	// emitMu serializes emit batches without holding mu, so a slow
+	// consumer stalls only the emitting goroutine — the rest of the pool
+	// keeps completing jobs and buffering results.
+	emitMu sync.Mutex
+}
+
+func newAssembler(n int, emit func(int, Result)) *assembler {
+	return &assembler{results: make([]Result, n), done: make([]bool, n), emit: emit}
+}
+
+// complete records job i's result and advances the completed prefix,
+// emitting every newly contiguous result in index order.
+func (a *assembler) complete(i int, r Result) {
+	a.mu.Lock()
+	a.results[i] = r
+	a.done[i] = true
+	start := a.next
+	for a.next < len(a.done) && a.done[a.next] {
+		a.next++
+	}
+	end := a.next
+	if a.emit == nil || start == end {
+		a.mu.Unlock()
+		return
+	}
+	// Emit outside mu: the [start,end) slots are write-once and now
+	// final, so they are safe to read unlocked. Taking emitMu *before*
+	// releasing mu hands batches to the emitter in frontier order — a
+	// later batch's goroutine cannot overtake this one.
+	a.emitMu.Lock()
+	a.mu.Unlock()
+	for j := start; j < end; j++ {
+		a.emit(j, a.results[j])
+	}
+	a.emitMu.Unlock()
+}
+
+// completed returns the longest fully-completed prefix of results. After
+// a failure this is exactly the set of results safe to use: every slot
+// holds a real result, never a placeholder.
+func (a *assembler) completed() []Result {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.results[:a.next]
+}

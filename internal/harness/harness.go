@@ -146,12 +146,26 @@ func (p Params) Float(name string, def float64) (float64, error) {
 	return f, nil
 }
 
+// Metric good-direction declarations, for Metric.Dir and Spec.MetricDirs.
+const (
+	// DirLower marks a metric where a smaller value is the improvement
+	// (times, residuals, hop counts).
+	DirLower = "lower"
+	// DirHigher marks a metric where a larger value is the improvement
+	// (rates, efficiencies).
+	DirHigher = "higher"
+)
+
 // Metric is one named quantity a workload reports alongside its rendered
 // text — the numbers the paper prints, kept machine-readable.
 type Metric struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
 	Unit  string  `json:"unit,omitempty"`
+	// Dir declares the metric's good direction (DirLower or DirHigher).
+	// Empty means the delta reporter falls back to its name/unit
+	// heuristic (repro/internal/report.LowerIsBetter).
+	Dir string `json:"dir,omitempty"`
 }
 
 // Result is the structured outcome of one workload run.
@@ -218,6 +232,13 @@ type Spec struct {
 	Desc       string
 	Space      []Param
 	RunFunc    func(ctx context.Context, p Params) (Result, error)
+	// MetricDirs declares the good direction of the workload's metrics
+	// by name (DirLower or DirHigher), overriding the delta reporter's
+	// name/unit heuristic. Run stamps each declared direction onto the
+	// matching metrics of every result, so the declaration travels with
+	// the stored record and holds at diff time even in a binary where
+	// the workload is no longer registered.
+	MetricDirs map[string]string
 }
 
 // ID implements Workload.
@@ -229,10 +250,23 @@ func (s Spec) Description() string { return s.Desc }
 // ParamSpace implements Workload.
 func (s Spec) ParamSpace() []Param { return s.Space }
 
-// Run implements Workload.
+// Run implements Workload. It stamps the Spec's MetricDirs declarations
+// onto the result's metrics, leaving explicitly set directions alone.
 func (s Spec) Run(ctx context.Context, p Params) (Result, error) {
 	if s.RunFunc == nil {
 		return Result{}, fmt.Errorf("harness: workload %s has no RunFunc", s.WorkloadID)
 	}
-	return s.RunFunc(ctx, p)
+	res, err := s.RunFunc(ctx, p)
+	if err != nil {
+		return res, err
+	}
+	for i := range res.Metrics {
+		if res.Metrics[i].Dir != "" {
+			continue
+		}
+		if d, ok := s.MetricDirs[res.Metrics[i].Name]; ok {
+			res.Metrics[i].Dir = d
+		}
+	}
+	return res, nil
 }

@@ -239,6 +239,89 @@ func TestSweepValues(t *testing.T) {
 	}
 }
 
+// Regression test for the partial-result ambiguity: a failed sweep used
+// to return a full-length slice whose unfinished slots held zero-value
+// Result{} placeholders, indistinguishable from real results — a persist
+// path could store them. Now only the longest fully-completed prefix
+// comes back.
+func TestSweepFailureReturnsOnlyCompletedPrefix(t *testing.T) {
+	boom := errors.New("boom")
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		i := i
+		jobs = append(jobs, Job{Workload: spec(fmt.Sprintf("w%d", i),
+			func(context.Context, Params) (Result, error) {
+				if i == 2 {
+					return Result{}, boom
+				}
+				return Result{Text: fmt.Sprintf("ok %d\n", i)}, nil
+			})})
+	}
+	results, err := Sweep(context.Background(), jobs, len(jobs))
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("want the completed prefix [0,2), got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.WorkloadID != fmt.Sprintf("w%d", i) || r.Text == "" {
+			t.Fatalf("result %d is not the real job result: %+v", i, r)
+		}
+	}
+}
+
+func TestLocalExecutorEmitStreamsInOrder(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, Job{Workload: echo(fmt.Sprintf("e%02d", i))})
+	}
+	var seen []int
+	emit := func(i int, r Result) {
+		if r.WorkloadID != fmt.Sprintf("e%02d", i) {
+			t.Errorf("emit %d got result for %s", i, r.WorkloadID)
+		}
+		seen = append(seen, i) // emit is serialized by contract: no lock needed
+	}
+	results, err := LocalExecutor{Workers: 8}.Execute(context.Background(), jobs, emit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) || len(seen) != len(jobs) {
+		t.Fatalf("results %d, emitted %d, want %d", len(results), len(seen), len(jobs))
+	}
+	for i, got := range seen {
+		if got != i {
+			t.Fatalf("emit order %v not ascending", seen)
+		}
+	}
+}
+
+func TestSpecMetricDirsStamped(t *testing.T) {
+	s := Spec{
+		WorkloadID: "dir/test",
+		MetricDirs: map[string]string{"score": DirLower, "rate": DirHigher},
+		RunFunc: func(context.Context, Params) (Result, error) {
+			r := Result{Text: "x\n"}
+			r.AddMetric("score", 10, "")
+			r.AddMetric("rate", 5, "MB/s")
+			r.AddMetric("other", 1, "")
+			r.Metrics = append(r.Metrics, Metric{Name: "score", Value: 2, Dir: DirHigher})
+			return r, nil
+		},
+	}
+	res, err := s.Run(context.Background(), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{DirLower, DirHigher, "", DirHigher}
+	for i, m := range res.Metrics {
+		if m.Dir != want[i] {
+			t.Fatalf("metric %d (%s) Dir = %q, want %q", i, m.Name, m.Dir, want[i])
+		}
+	}
+}
+
 func TestResultJSON(t *testing.T) {
 	r := Result{WorkloadID: "x", Title: "T", Text: "body\n"}
 	r.AddMetric("gflops", 13.0, "GFLOPS")

@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+)
+
+// ShardExecutor fans sweep jobs out to child worker processes speaking
+// the JSONL wire protocol in wire.go — the first step past one process
+// toward the paper's farm-of-cheap-workers model. Each worker process
+// (normally `hpcc worker`, re-exec'ed from the same binary) reads one
+// WireJob line at a time on stdin and answers with one WireResult line
+// on stdout; the executor dispatches jobs dynamically to whichever
+// worker is idle and reassembles results in job order, so sharded
+// output stays byte-identical to a LocalExecutor run.
+//
+// Workloads travel by registry ID, so the worker binary must have the
+// same workloads registered; only Job.Params crosses the process
+// boundary.
+type ShardExecutor struct {
+	// Shards is the number of worker processes; < 1 means 1, and the
+	// executor never starts more workers than jobs.
+	Shards int
+	// Argv is the worker command line (Argv[0] is the binary path).
+	Argv []string
+	// Env entries are appended to the inherited environment of each
+	// worker.
+	Env []string
+	// Stderr receives the workers' stderr; nil discards it.
+	Stderr io.Writer
+}
+
+// waitDelay bounds how long a worker may linger after its stdin closes
+// or its context is cancelled before its pipes are forcibly closed.
+const waitDelay = 10 * time.Second
+
+// lockedWriter serializes Write calls from concurrent worker stderr
+// copiers onto one destination.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// Execute implements Executor across worker processes. Cancelling ctx
+// closes every worker's stdin and kills stragglers; a worker that dies
+// mid-job surfaces as a *JobError for that job's index.
+func (e *ShardExecutor) Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error) {
+	if len(e.Argv) == 0 {
+		return nil, errors.New("harness: shard executor has no worker command")
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	shards := e.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(jobs) {
+		shards = len(jobs)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	asm := newAssembler(len(jobs), emit)
+	errs := make([]error, len(jobs))
+	spawnErrs := make([]error, shards)
+	feed := make(chan int)
+
+	// Every worker's stderr lands on one writer; exec copies each
+	// child's stream on its own goroutine, so the shared destination
+	// must serialize writes itself.
+	var stderr io.Writer
+	if e.Stderr != nil {
+		stderr = &lockedWriter{w: e.Stderr}
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			if err := e.runShard(ctx, cancel, shard, jobs, feed, asm, errs, stderr); err != nil {
+				spawnErrs[shard] = err
+				cancel()
+			}
+		}(s)
+	}
+
+	var dispatchErr error
+dispatch:
+	for i := range jobs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			dispatchErr = ctx.Err()
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	err := sweepErr(ctx, errs, dispatchErr)
+	// A shard that failed to start cancels the sweep, so the remaining
+	// error may be the cancellation that failure caused; the spawn
+	// failure is the root cause and outranks it.
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		for _, serr := range spawnErrs {
+			if serr != nil {
+				err = serr
+				break
+			}
+		}
+	}
+	return asm.completed(), err
+}
+
+// runShard owns one worker process for the life of the sweep: it pulls
+// job indices off feed, round-trips each over the wire, and records
+// results and per-job errors. The returned error covers only failures
+// to run the worker at all — per-job failures (including a worker crash
+// mid-job) are mapped onto the in-flight job's errs slot instead.
+func (e *ShardExecutor) runShard(ctx context.Context, cancel func(), shard int, jobs []Job, feed <-chan int, asm *assembler, errs []error, stderr io.Writer) error {
+	cmd := exec.CommandContext(ctx, e.Argv[0], e.Argv[1:]...)
+	cmd.Env = append(os.Environ(), e.Env...)
+	cmd.Stderr = stderr
+	cmd.WaitDelay = waitDelay
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return fmt.Errorf("harness: shard %d: %w", shard, err)
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return fmt.Errorf("harness: shard %d: %w", shard, err)
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("harness: shard %d: start worker %s: %w", shard, e.Argv[0], err)
+	}
+	// Closing stdin is the graceful shutdown signal: the worker exits at
+	// EOF. CommandContext kills stragglers once ctx is cancelled, and
+	// WaitDelay bounds the wait either way.
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+
+	sc := newWireScanner(stdout)
+	for {
+		var i int
+		select {
+		case idx, ok := <-feed:
+			if !ok {
+				return nil
+			}
+			i = idx
+		case <-ctx.Done():
+			return nil
+		}
+
+		job := jobs[i]
+		if job.Workload == nil {
+			errs[i] = &JobError{Index: i, WorkloadID: "", Err: fmt.Errorf("nil workload")}
+			cancel()
+			continue
+		}
+		id := job.Workload.ID()
+		fail := func(err error) {
+			// A transport failure during cancellation is a victim of the
+			// kill, not a root cause; report it as the cancellation so
+			// the sweep's error reflects what actually went wrong.
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				err = ctxErr
+			}
+			errs[i] = &JobError{Index: i, WorkloadID: id, Err: err}
+			cancel()
+		}
+
+		if err := EncodeWire(stdin, WireJob{Index: i, WorkloadID: id, Params: job.Params}); err != nil {
+			fail(fmt.Errorf("shard %d: send job: %w", shard, err))
+			return nil
+		}
+		if !sc.Scan() {
+			readErr := sc.Err()
+			if readErr == nil {
+				readErr = io.ErrUnexpectedEOF
+			}
+			// Snapshot cancellation state before cancelling ourselves,
+			// then cancel *before* waiting: a worker that closed stdout
+			// but is still running would otherwise block Wait forever —
+			// only a cancelled CommandContext kills it.
+			ctxErr := ctx.Err()
+			stdin.Close()
+			cancel()
+			waitErr := cmd.Wait()
+			err := fmt.Errorf("shard %d: worker exited before answering job %d: %v (wait: %v)", shard, i, readErr, waitErr)
+			if ctxErr != nil {
+				// The read failed because the sweep was already being
+				// cancelled and the kill tore the pipe down; report the
+				// cancellation, not the teardown.
+				err = ctxErr
+			}
+			errs[i] = &JobError{Index: i, WorkloadID: id, Err: err}
+			return nil
+		}
+		wr, err := DecodeWireResult(sc.Bytes())
+		if err != nil {
+			fail(fmt.Errorf("shard %d: %w", shard, err))
+			return nil
+		}
+		if wr.Index != i {
+			fail(fmt.Errorf("shard %d: worker answered job %d, want %d", shard, wr.Index, i))
+			return nil
+		}
+		if wr.Error != "" {
+			errs[i] = &JobError{Index: i, WorkloadID: id, Err: errors.New(wr.Error)}
+			cancel()
+			continue
+		}
+		res := *wr.Result
+		if res.WorkloadID == "" {
+			res.WorkloadID = id
+		}
+		asm.complete(i, res)
+	}
+}

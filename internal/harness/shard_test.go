@@ -1,0 +1,248 @@
+package harness
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// shardWorkerEnv selects a worker personality when this test binary is
+// re-exec'ed by a ShardExecutor under test (see TestMain):
+//
+//	serve — a faithful worker over shardTestRegistry
+//	crash — reads one job line, then dies without answering
+const shardWorkerEnv = "HARNESS_TEST_WORKER"
+
+// shardTestRegistry is the workload set both sides of the shard tests
+// share: the parent builds jobs from it, and the re-exec'ed worker
+// serves it.
+func shardTestRegistry() *Registry {
+	reg := NewRegistry()
+	for i := 0; i < 24; i++ {
+		if err := reg.Register(echo(fmt.Sprintf("shard/echo%02d", i))); err != nil {
+			panic(err)
+		}
+	}
+	must := func(s Spec) {
+		if err := reg.Register(s); err != nil {
+			panic(err)
+		}
+	}
+	must(spec("shard/fail", func(context.Context, Params) (Result, error) {
+		return Result{}, errors.New("deliberate failure")
+	}))
+	must(spec("shard/slow", func(ctx context.Context, _ Params) (Result, error) {
+		// Long enough that a cancellation test must kill the worker; a
+		// plain sleep, because the child's own context is never
+		// cancelled — only the parent's kill ends it.
+		time.Sleep(30 * time.Second)
+		return Result{Text: "slept\n"}, nil
+	}))
+	return reg
+}
+
+func TestMain(m *testing.M) {
+	switch os.Getenv(shardWorkerEnv) {
+	case "serve":
+		if err := ServeWorker(context.Background(), shardTestRegistry(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	case "crash":
+		bufio.NewScanner(os.Stdin).Scan()
+		os.Exit(3)
+	}
+	os.Exit(m.Run())
+}
+
+// testShardExecutor re-execs this test binary as the worker command.
+func testShardExecutor(shards int, mode string) *ShardExecutor {
+	return &ShardExecutor{
+		Shards: shards,
+		Argv:   []string{os.Args[0]},
+		Env:    []string{shardWorkerEnv + "=" + mode},
+		Stderr: os.Stderr,
+	}
+}
+
+// shardEchoJobs builds n jobs over the shard test registry's echo
+// workloads with distinct params.
+func shardEchoJobs(t *testing.T, n int) []Job {
+	t.Helper()
+	reg := shardTestRegistry()
+	jobs := make([]Job, n)
+	for i := range jobs {
+		w, err := reg.Lookup(fmt.Sprintf("shard/echo%02d", i%24))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = Job{Workload: w, Params: Params{Seed: int64(i)}.WithValue("n", fmt.Sprint(i))}
+	}
+	return jobs
+}
+
+func TestShardMatchesLocalByteIdentical(t *testing.T) {
+	jobs := shardEchoJobs(t, 20)
+	local, err := LocalExecutor{Workers: 4}.Execute(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		sharded, err := testShardExecutor(shards, "serve").Execute(context.Background(), jobs, nil)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if len(sharded) != len(local) {
+			t.Fatalf("shards=%d: %d results, local %d", shards, len(sharded), len(local))
+		}
+		for i := range local {
+			a, _ := local[i].JSON()
+			b, _ := sharded[i].JSON()
+			if a != b {
+				t.Fatalf("shards=%d: result %d differs:\n%s\n---\n%s", shards, i, a, b)
+			}
+		}
+	}
+}
+
+func TestShardEmitStreamsInOrder(t *testing.T) {
+	jobs := shardEchoJobs(t, 12)
+	var mu sync.Mutex
+	var seen []int
+	emit := func(i int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !strings.Contains(r.Text, fmt.Sprintf("n=%d ", i)) {
+			t.Errorf("emit %d got wrong result %q", i, r.Text)
+		}
+		seen = append(seen, i)
+	}
+	if _, err := testShardExecutor(3, "serve").Execute(context.Background(), jobs, emit); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(jobs) {
+		t.Fatalf("emitted %d of %d results", len(seen), len(jobs))
+	}
+	for i, got := range seen {
+		if got != i {
+			t.Fatalf("emit order %v not ascending", seen)
+		}
+	}
+}
+
+func TestShardWorkerErrorIsJobError(t *testing.T) {
+	reg := shardTestRegistry()
+	fail, err := reg.Lookup("shard/fail")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := shardEchoJobs(t, 4)
+	jobs[2] = Job{Workload: fail}
+	results, err := testShardExecutor(2, "serve").Execute(context.Background(), jobs, nil)
+	if err == nil {
+		t.Fatal("failing workload reported no error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %T: %v", err, err)
+	}
+	if je.Index != 2 || je.WorkloadID != "shard/fail" || !strings.Contains(je.Err.Error(), "deliberate failure") {
+		t.Fatalf("wrong job error: %+v", je)
+	}
+	// Only the completed prefix comes back — never placeholders.
+	if len(results) > 2 {
+		t.Fatalf("results reach past the failed job: %d", len(results))
+	}
+	for i, r := range results {
+		if r.WorkloadID == "" || r.Text == "" {
+			t.Fatalf("result %d is a placeholder: %+v", i, r)
+		}
+	}
+}
+
+func TestShardWorkerCrashMapsToInFlightJob(t *testing.T) {
+	jobs := shardEchoJobs(t, 3)
+	done := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		defer close(done)
+		results, err = testShardExecutor(1, "crash").Execute(context.Background(), jobs, nil)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("crashed worker hung the sweep")
+	}
+	if err == nil {
+		t.Fatal("worker crash reported no error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %T: %v", err, err)
+	}
+	if je.Index != 0 {
+		t.Fatalf("crash mapped to job %d, want the in-flight job 0", je.Index)
+	}
+	if !strings.Contains(err.Error(), "exited before answering") {
+		t.Fatalf("crash error does not say what happened: %v", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("crash still produced results: %v", results)
+	}
+}
+
+func TestShardCancellationKillsStragglers(t *testing.T) {
+	reg := shardTestRegistry()
+	slow, err := reg.Lookup("shard/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []Job{{Workload: slow}, {Workload: slow}}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(500 * time.Millisecond) // let the workers start the jobs
+		cancel()
+	}()
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := testShardExecutor(2, "serve").Execute(ctx, jobs, nil)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("cancellation did not stop the sharded sweep")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Fatalf("cancellation took %v; stragglers were not killed", elapsed)
+	}
+}
+
+func TestShardExecutorRejectsMissingCommand(t *testing.T) {
+	if _, err := (&ShardExecutor{Shards: 2}).Execute(context.Background(), shardEchoJobs(t, 2), nil); err == nil {
+		t.Fatal("executor with no worker command accepted")
+	}
+}
+
+func TestShardSpawnFailureSurfaces(t *testing.T) {
+	ex := &ShardExecutor{Shards: 1, Argv: []string{"/no/such/worker-binary"}}
+	_, err := ex.Execute(context.Background(), shardEchoJobs(t, 2), nil)
+	if err == nil {
+		t.Fatal("unspawnable worker reported no error")
+	}
+	if !strings.Contains(err.Error(), "start worker") {
+		t.Fatalf("spawn failure unclear: %v", err)
+	}
+}

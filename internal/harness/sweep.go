@@ -40,9 +40,18 @@ func DefaultWorkers() int { return runtime.NumCPU() }
 //
 // workers < 1 means DefaultWorkers(). On the first failure the engine
 // cancels the remaining jobs' context, drains the pool, and returns the
-// lowest-indexed error; results then holds only the jobs that completed.
-// Cancelling ctx stops dispatch and returns ctx.Err().
+// lowest-indexed error; results then holds only the longest
+// fully-completed prefix of the jobs, so every returned Result is real —
+// no slot ever holds a zero-value placeholder for a job that failed or
+// never ran. Cancelling ctx stops dispatch and returns ctx.Err().
 func Sweep(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
+	return sweepEmit(ctx, jobs, workers, nil)
+}
+
+// sweepEmit is Sweep with an optional streaming callback: emit, when
+// non-nil, receives each result in strictly ascending index order as the
+// completed prefix grows (the Executor.Execute contract).
+func sweepEmit(ctx context.Context, jobs []Job, workers int, emit func(int, Result)) ([]Result, error) {
 	if workers < 1 {
 		workers = DefaultWorkers()
 	}
@@ -56,7 +65,7 @@ func Sweep(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	results := make([]Result, len(jobs))
+	asm := newAssembler(len(jobs), emit)
 	errs := make([]error, len(jobs))
 	feed := make(chan int)
 
@@ -81,7 +90,7 @@ func Sweep(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
 				if res.WorkloadID == "" {
 					res.WorkloadID = job.Workload.ID()
 				}
-				results[i] = res
+				asm.complete(i, res)
 			}
 		}()
 	}
@@ -99,11 +108,15 @@ dispatch:
 	close(feed)
 	wg.Wait()
 
-	// Report the lowest-indexed root-cause failure: once one job fails,
-	// the engine cancels the rest, so later slots may hold cancellation
-	// victims rather than the error that triggered the cancellation.
-	// Prefer the first non-cancellation error; fall back to the first
-	// cancellation, then to the context error.
+	return asm.completed(), sweepErr(ctx, errs, dispatchErr)
+}
+
+// sweepErr picks the error a sweep reports: the lowest-indexed
+// root-cause failure. Once one job fails the engine cancels the rest, so
+// later slots may hold cancellation victims rather than the error that
+// triggered the cancellation. Prefer the first non-cancellation error;
+// fall back to the first cancellation, then to the context error.
+func sweepErr(ctx context.Context, errs []error, dispatchErr error) error {
 	var firstErr error
 	for _, err := range errs {
 		if err == nil {
@@ -113,30 +126,27 @@ dispatch:
 			firstErr = err
 		}
 		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
-			return results, err
+			return err
 		}
 	}
 	if firstErr != nil {
-		return results, firstErr
+		return firstErr
 	}
 	if dispatchErr != nil {
-		return results, dispatchErr
+		return dispatchErr
 	}
-	if err := ctx.Err(); err != nil {
-		return results, err
-	}
-	return results, nil
+	return ctx.Err()
 }
 
-// SweepWorkloads runs each workload once with the same base params —
-// the "run the whole portfolio" case — returning results in the given
-// order.
-func SweepWorkloads(ctx context.Context, ws []Workload, base Params, workers int) ([]Result, error) {
+// WorkloadJobs pairs each workload with the same base params — the "run
+// the whole portfolio" case. Callers hand the jobs to any Executor (or
+// Sweep) and, when persisting, read each job's Params back by index.
+func WorkloadJobs(ws []Workload, base Params) []Job {
 	jobs := make([]Job, len(ws))
 	for i, w := range ws {
 		jobs[i] = Job{Workload: w, Params: base}
 	}
-	return Sweep(ctx, jobs, workers)
+	return jobs
 }
 
 // ValueJobs expands one workload over successive overrides of a single

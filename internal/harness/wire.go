@@ -1,0 +1,135 @@
+package harness
+
+// The JSONL wire protocol between a sharding sweep engine and its child
+// worker processes. A parent (ShardExecutor, shard.go) writes one
+// WireJob per line to a worker's stdin; the worker (ServeWorker — the
+// `hpcc worker` subcommand) answers each with one WireResult line on
+// stdout. The protocol is strictly request/response per worker: a worker
+// handles one job at a time, so the parent always knows which job index
+// an answer — or a crash — belongs to. Workloads travel by registry ID,
+// so both sides must be built with the same workloads registered.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WireJob is one serialized sweep job: the line a sharding parent writes
+// to a worker's stdin.
+type WireJob struct {
+	// Index is the job's position in the parent's sweep, echoed back in
+	// the WireResult so results reassemble in job order.
+	Index int `json:"index"`
+	// WorkloadID names the workload in the worker's registry.
+	WorkloadID string `json:"workload_id"`
+	// Params are the exact parameters the job runs with.
+	Params Params `json:"params"`
+}
+
+// WireResult is one worker answer: the line a worker writes to stdout
+// after running (or failing to run) a job. Exactly one of Result and
+// Error is set.
+type WireResult struct {
+	Index  int     `json:"index"`
+	Result *Result `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// EncodeWire writes v as one JSON line. Both sides of the protocol use
+// it so framing lives in one place.
+func EncodeWire(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("harness: encode wire message: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("harness: write wire message: %w", err)
+	}
+	return nil
+}
+
+// DecodeWireJob parses and validates one WireJob line.
+func DecodeWireJob(line []byte) (WireJob, error) {
+	var j WireJob
+	if err := json.Unmarshal(line, &j); err != nil {
+		return WireJob{}, fmt.Errorf("harness: decode wire job: %w", err)
+	}
+	if j.Index < 0 {
+		return WireJob{}, fmt.Errorf("harness: wire job has negative index %d", j.Index)
+	}
+	if j.WorkloadID == "" {
+		return WireJob{}, fmt.Errorf("harness: wire job %d has no workload_id", j.Index)
+	}
+	return j, nil
+}
+
+// DecodeWireResult parses and validates one WireResult line.
+func DecodeWireResult(line []byte) (WireResult, error) {
+	var r WireResult
+	if err := json.Unmarshal(line, &r); err != nil {
+		return WireResult{}, fmt.Errorf("harness: decode wire result: %w", err)
+	}
+	if r.Index < 0 {
+		return WireResult{}, fmt.Errorf("harness: wire result has negative index %d", r.Index)
+	}
+	if (r.Result == nil) == (r.Error == "") {
+		return WireResult{}, fmt.Errorf("harness: wire result %d must carry exactly one of result and error", r.Index)
+	}
+	return r, nil
+}
+
+// newWireScanner sizes a line scanner for wire traffic: results carry
+// whole rendered exhibits, so lines run far past bufio's default cap.
+func newWireScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	return sc
+}
+
+// ServeWorker runs the worker side of the shard protocol: it reads
+// WireJob lines from r until EOF, resolves each workload in reg, runs
+// it, and answers with a WireResult line on w — a per-job failure
+// (unknown ID, workload error) travels back as a result line, not a
+// worker death. A malformed job line is a protocol breach and kills the
+// worker with an error; the parent maps the death onto the in-flight
+// job. This is what `hpcc worker` runs.
+func ServeWorker(ctx context.Context, reg *Registry, r io.Reader, w io.Writer) error {
+	sc := newWireScanner(r)
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		job, err := DecodeWireJob(line)
+		if err != nil {
+			return err
+		}
+		out := WireResult{Index: job.Index}
+		wl, err := reg.Lookup(job.WorkloadID)
+		if err != nil {
+			out.Error = err.Error()
+		} else if res, err := wl.Run(ctx, job.Params); err != nil {
+			out.Error = err.Error()
+		} else {
+			if res.WorkloadID == "" {
+				res.WorkloadID = wl.ID()
+			}
+			out.Result = &res
+		}
+		if err := EncodeWire(w, out); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("harness: worker read jobs: %w", err)
+	}
+	return nil
+}

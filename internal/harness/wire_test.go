@@ -1,0 +1,160 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWireJobRoundTrip(t *testing.T) {
+	in := WireJob{
+		Index:      7,
+		WorkloadID: "app/cfd-stencil",
+		Params: Params{Quick: true, Seed: 42,
+			Values: map[string]string{"n": "512", "iters": "3"}},
+	}
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.HasSuffix(line, "\n") || strings.Count(line, "\n") != 1 {
+		t.Fatalf("wire job is not exactly one line: %q", line)
+	}
+	out, err := DecodeWireJob([]byte(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Index != in.Index || out.WorkloadID != in.WorkloadID ||
+		out.Params.Canonical() != in.Params.Canonical() {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestWireResultRoundTrip(t *testing.T) {
+	res := Result{WorkloadID: "x", Title: "T", Text: "body\n"}
+	res.AddMetric("gflops", 13, "GFLOPS")
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, WireResult{Index: 3, Result: &res}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeWireResult(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Index != 3 || out.Result == nil || out.Error != "" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	// The result must survive the wire byte-for-byte: identical JSON is
+	// what makes sharded output byte-identical to local output.
+	a, _ := res.JSON()
+	b, _ := out.Result.JSON()
+	if a != b {
+		t.Fatalf("result JSON changed over the wire:\n%s\n%s", a, b)
+	}
+}
+
+func TestWireDecodeRejectsInvalid(t *testing.T) {
+	for _, tc := range []struct{ name, line string }{
+		{"job garbage", "not json"},
+		{"job negative index", `{"index":-1,"workload_id":"x","params":{}}`},
+		{"job empty workload", `{"index":0,"workload_id":"","params":{}}`},
+	} {
+		if _, err := DecodeWireJob([]byte(tc.line)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	for _, tc := range []struct{ name, line string }{
+		{"result garbage", "{"},
+		{"result negative index", `{"index":-2,"error":"x"}`},
+		{"result neither", `{"index":0}`},
+		{"result both", `{"index":0,"result":{"workload":"w","text":""},"error":"x"}`},
+	} {
+		if _, err := DecodeWireResult([]byte(tc.line)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestServeWorkerRunsJobs(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(echo("w/echo")); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(spec("w/fail", func(context.Context, Params) (Result, error) {
+		return Result{}, errors.New("kernel diverged")
+	})); err != nil {
+		t.Fatal(err)
+	}
+
+	var in, out bytes.Buffer
+	for i, j := range []WireJob{
+		{Index: 0, WorkloadID: "w/echo", Params: Params{}.WithValue("n", "7")},
+		{Index: 1, WorkloadID: "w/fail"},
+		{Index: 2, WorkloadID: "w/missing"},
+	} {
+		if err := EncodeWire(&in, j); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	if err := ServeWorker(context.Background(), reg, &in, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 result lines, got %d:\n%s", len(lines), out.String())
+	}
+	r0, err := DecodeWireResult([]byte(lines[0]))
+	if err != nil || r0.Index != 0 || r0.Result == nil || !strings.Contains(r0.Result.Text, "n=7") {
+		t.Fatalf("result 0 wrong: %+v, %v", r0, err)
+	}
+	r1, err := DecodeWireResult([]byte(lines[1]))
+	if err != nil || r1.Index != 1 || !strings.Contains(r1.Error, "kernel diverged") {
+		t.Fatalf("result 1 wrong: %+v, %v", r1, err)
+	}
+	r2, err := DecodeWireResult([]byte(lines[2]))
+	if err != nil || r2.Index != 2 || !strings.Contains(r2.Error, "unknown workload") {
+		t.Fatalf("result 2 wrong: %+v, %v", r2, err)
+	}
+}
+
+func TestServeWorkerDiesOnProtocolBreach(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(echo("w/echo")); err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader("this is not a wire job\n")
+	var out bytes.Buffer
+	if err := ServeWorker(context.Background(), reg, in, &out); err == nil {
+		t.Fatal("malformed job line accepted")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("worker answered a malformed job: %q", out.String())
+	}
+}
+
+func TestServeWorkerStampsWorkloadID(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(spec("w/anon", func(context.Context, Params) (Result, error) {
+		return Result{Text: "ok\n"}, nil // no WorkloadID set by the workload
+	})); err != nil {
+		t.Fatal(err)
+	}
+	var in, out bytes.Buffer
+	if err := EncodeWire(&in, WireJob{Index: 0, WorkloadID: "w/anon"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ServeWorker(context.Background(), reg, &in, &out); err != nil {
+		t.Fatal(err)
+	}
+	r, err := DecodeWireResult(bytes.TrimSpace(out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Result == nil || r.Result.WorkloadID != "w/anon" {
+		t.Fatalf("worker did not stamp the workload ID: %+v", r)
+	}
+}

@@ -22,6 +22,16 @@ func init() {
 			{Name: "pc", Default: "33", Doc: "process grid columns"},
 		},
 		RunFunc: runDeltaWorkload,
+		// Pin the headline metrics' good directions explicitly instead of
+		// leaning on the delta reporter's name/unit heuristic: the
+		// flagship benchmark should never silently flip direction if the
+		// heuristic's word lists change.
+		MetricDirs: map[string]string{
+			"gflops":       harness.DirHigher,
+			"efficiency":   harness.DirHigher,
+			"simulated-s":  harness.DirLower,
+			"model-gflops": harness.DirHigher,
+		},
 	})
 	harness.MustRegister(harness.Spec{
 		WorkloadID: "linpack/sweep-n",

@@ -79,7 +79,7 @@ func Diff(oldSnap, newSnap Snapshot, threshold float64) *report.DeltaReport {
 			}
 			oldM := olds[k]
 			pct, status := report.Classify(oldM.Value, m.Value, threshold,
-				report.LowerIsBetter(m.Name, m.Unit))
+				metricLowerIsBetter(m))
 			d.Rows = append(d.Rows, report.DeltaRow{
 				Point:  point,
 				Metric: m.Name,
@@ -106,6 +106,22 @@ func Diff(oldSnap, newSnap Snapshot, threshold float64) *report.DeltaReport {
 		}
 	}
 	return d
+}
+
+// metricLowerIsBetter resolves one metric's good direction: an explicit
+// per-workload declaration (harness.Metric.Dir, stamped by the workload's
+// Spec.MetricDirs) wins; otherwise the name/unit heuristic decides. The
+// newer record's metric carries the declaration used, so updating a
+// workload's declaration takes effect on the next diff without rewriting
+// history.
+func metricLowerIsBetter(m harness.Metric) bool {
+	switch m.Dir {
+	case harness.DirLower:
+		return true
+	case harness.DirHigher:
+		return false
+	}
+	return report.LowerIsBetter(m.Name, m.Unit)
 }
 
 // pointLabel names a workload point for report rows: the workload ID plus

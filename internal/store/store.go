@@ -450,9 +450,15 @@ func Resolve(snaps []Snapshot, ref string) (Snapshot, error) {
 	if ref == "latest" || strings.HasPrefix(ref, "latest~") {
 		back := 0
 		if tail, ok := strings.CutPrefix(ref, "latest~"); ok {
+			// Digits only: strconv.Atoi would also accept signed forms
+			// like "latest~-1" and "latest~+1", which either have no
+			// sensible meaning or silently alias "latest~1".
+			if tail == "" || strings.TrimLeft(tail, "0123456789") != "" {
+				return Snapshot{}, fmt.Errorf("store: bad ref %q (want latest~N with N a non-negative integer)", ref)
+			}
 			back, err = strconv.Atoi(tail)
-			if err != nil || back < 0 {
-				return Snapshot{}, fmt.Errorf("store: bad ref %q (want latest~N)", ref)
+			if err != nil {
+				return Snapshot{}, fmt.Errorf("store: bad ref %q: %w", ref, err)
 			}
 		}
 		i := len(snaps) - 1 - back

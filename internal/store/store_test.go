@@ -135,6 +135,38 @@ func TestResolveRefs(t *testing.T) {
 	}
 }
 
+// Regression test for the ref grammar: strconv.Atoi alone accepts signed
+// forms, so "latest~-1" (meaningless) and "latest~+1" (a silent alias of
+// "latest~1") used to sneak through the digit check. All of them must be
+// rejected with a message naming the expected form.
+func TestResolveRejectsSignedLatestOffsets(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := harness.Params{}
+	mustAppend(t, s, Meta{Time: at(1)}, Entry{Params: p, Result: testResult("w", 10)})
+	mustAppend(t, s, Meta{Time: at(2)}, Entry{Params: p, Result: testResult("w", 11)})
+
+	for _, bad := range []string{"latest~-1", "latest~+1", "latest~", "latest~ 1", "latest~1.0"} {
+		_, err := s.Resolve(bad)
+		if err == nil {
+			t.Errorf("Resolve(%q) succeeded, want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "latest~N") {
+			t.Errorf("Resolve(%q) error %q does not name the expected form", bad, err)
+		}
+	}
+	// The digit-only check must not break the valid forms.
+	if snap, err := s.Resolve("latest~1"); err != nil || len(snap.Records) == 0 {
+		t.Fatalf("latest~1 broken: %v", err)
+	}
+	if _, err := s.Resolve("latest~0"); err != nil {
+		t.Fatalf("latest~0 broken: %v", err)
+	}
+}
+
 func TestResolveEmptyStore(t *testing.T) {
 	s, err := Open(filepath.Join(t.TempDir(), "never-written"))
 	if err != nil {
@@ -238,6 +270,51 @@ func TestDiff(t *testing.T) {
 	if len(self.Regressions()) != 0 || len(self.Added) != 0 || len(self.Removed) != 0 ||
 		len(self.MetricsAdded) != 0 || len(self.MetricsRemoved) != 0 {
 		t.Errorf("self-diff not clean: %+v", self)
+	}
+}
+
+// TestDiffHonorsMetricDirOverride: a workload's declared metric
+// direction (harness.Metric.Dir, stamped by Spec.MetricDirs) overrides
+// the name/unit heuristic in both directions.
+func TestDiffHonorsMetricDirOverride(t *testing.T) {
+	snap := func(metrics ...harness.Metric) Snapshot {
+		r := harness.Result{WorkloadID: "w", Text: "x\n", Metrics: metrics}
+		rec, err := newRecord("run", Meta{Time: at(0)}, Entry{Params: harness.Params{}, Result: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Snapshot{RunID: "run", Records: []Record{rec}}
+	}
+	rowStatus := func(d *report.DeltaReport, metric string) report.DeltaStatus {
+		for _, row := range d.Rows {
+			if row.Metric == metric {
+				return row.Status
+			}
+		}
+		t.Fatalf("no row for %s in %+v", metric, d.Rows)
+		return ""
+	}
+
+	// "score" reads as higher-is-better to the heuristic; the workload
+	// declares it lower-is-better, so a big increase must regress.
+	oldSnap := snap(harness.Metric{Name: "score", Value: 10})
+	newSnap := snap(harness.Metric{Name: "score", Value: 20, Dir: harness.DirLower})
+	if got := rowStatus(Diff(oldSnap, newSnap, 0.05), "score"); got != report.DeltaRegressed {
+		t.Fatalf("declared-lower score doubled: status %s, want regressed", got)
+	}
+	// Without the declaration the heuristic calls the same move improved.
+	if got := rowStatus(Diff(oldSnap, snap(harness.Metric{Name: "score", Value: 20}), 0.05),
+		"score"); got != report.DeltaImproved {
+		t.Fatalf("undeclared score doubled: status %s, want improved (heuristic)", got)
+	}
+
+	// "drain-time" reads as lower-is-better to the heuristic; a workload
+	// measuring, say, sustained drain throughput-seconds can declare
+	// higher-is-better and an increase must improve.
+	oldSnap = snap(harness.Metric{Name: "drain-time", Value: 10, Unit: "s"})
+	newSnap = snap(harness.Metric{Name: "drain-time", Value: 20, Unit: "s", Dir: harness.DirHigher})
+	if got := rowStatus(Diff(oldSnap, newSnap, 0.05), "drain-time"); got != report.DeltaImproved {
+		t.Fatalf("declared-higher drain-time doubled: status %s, want improved", got)
 	}
 }
 
