@@ -21,8 +21,10 @@ import (
 	"repro/internal/apps/nbody"
 	"repro/internal/apps/shallow"
 	"repro/internal/apps/stencil"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/funding"
+	"repro/internal/harness"
 	"repro/internal/linpack"
 	"repro/internal/machine"
 	"repro/internal/mesh"
@@ -534,6 +536,42 @@ func BenchmarkReportParallel(b *testing.B) {
 			b.ReportMetric(float64(workers), "workers")
 		})
 	}
+}
+
+// BenchmarkReportCached regenerates the full quick report through a warm
+// result cache: every exhibit is served from disk through the same
+// in-order emit path, so the bytes match BenchmarkReportParallel's while
+// the cost drops from simulation time to a handful of file reads. The
+// cold/warm gap against BenchmarkReportParallel is the result cache's
+// speedup (BENCH_report.json tracks it across PRs).
+func BenchmarkReportCached(b *testing.B) {
+	ctx := context.Background()
+	c, err := cache.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := &harness.CachingExecutor{
+		Inner: harness.LocalExecutor{Workers: runtime.NumCPU()},
+		Cache: c,
+	}
+	p := core.NewProgram()
+	p.Quick = true
+	warm := func() {
+		results, err := p.ReportResultsExec(ctx, ex, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := core.WriteResults(io.Discard, results); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm() // populate: everything after this is cache hits
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		warm()
+	}
+	b.ReportMetric(float64(ex.Hits), "hits")
+	b.ReportMetric(float64(ex.Misses), "misses")
 }
 
 func benchName(prefix string, v int) string {

@@ -1,0 +1,223 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+func testResult(id string, n float64) harness.Result {
+	res := harness.Result{
+		WorkloadID: id,
+		Title:      "title of " + id,
+		Paper:      "paper claim",
+		Text:       "rendered table\nrow\n",
+	}
+	res.AddMetric("gflops", n, "GFLOPS")
+	res.Metrics[0].Dir = harness.DirHigher
+	return res
+}
+
+func params(kv ...string) harness.Params {
+	p := harness.Params{Quick: true, Seed: 7}
+	for i := 0; i+1 < len(kv); i += 2 {
+		p = p.WithValue(kv[i], kv[i+1])
+	}
+	return p
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open("   "); err == nil {
+		t.Fatal("Open accepted a blank directory")
+	}
+}
+
+func TestMissOnEmptyCache(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("linpack/delta", params(), "v1"); ok {
+		t.Fatal("hit on an empty cache")
+	}
+}
+
+// TestRoundTripByteIdentity is the core promise: a Result served from the
+// cache must be byte-identical (as JSON, hence as rendered text too) to
+// the one that was stored.
+func TestRoundTripByteIdentity(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params("n", "25000", "nb", "16")
+	want := testResult("linpack/delta", 12.283817261373618)
+	if err := c.Put("linpack/delta", p, "v1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("linpack/delta", p, "v1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	wb, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wb) != string(gb) {
+		t.Fatalf("round trip changed the result:\nput: %s\ngot: %s", wb, gb)
+	}
+}
+
+// TestKeyCanonicalizesParams: the key must not depend on map insertion
+// order, only on canonical content.
+func TestKeyCanonicalizesParams(t *testing.T) {
+	a := harness.Params{Values: map[string]string{"n": "8192", "nb": "16"}}
+	b := harness.Params{Values: map[string]string{"nb": "16", "n": "8192"}}
+	if Key("w", a, "v") != Key("w", b, "v") {
+		t.Fatal("key depends on map insertion order")
+	}
+	if Key("w", a, "v") == Key("w", a.WithValue("n", "4096"), "v") {
+		t.Fatal("key ignores parameter values")
+	}
+}
+
+func TestVersionBumpInvalidates(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params()
+	if err := c.Put("w", p, "v1", testResult("w", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("w", p, "v1"); !ok {
+		t.Fatal("miss at the version that was stored")
+	}
+	if _, ok := c.Get("w", p, "v2"); ok {
+		t.Fatal("version bump did not invalidate the entry")
+	}
+	if _, ok := c.Get("w", p, ""); ok {
+		t.Fatal("empty version hit a v1 entry")
+	}
+}
+
+// TestCorruptEntriesAreMisses: every damaged-entry shape reads as a miss,
+// never an error — the caller recomputes and the next Put repairs it.
+func TestCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := params()
+	if err := c.Put("w", p, "v1", testResult("w", 1)); err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(dir, Key("w", p, "v1")+".json")
+	good, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"garbage", []byte("not json at all")},
+		{"truncated", good[:len(good)/2]},
+		{"empty", nil},
+		{"future-schema", []byte(`{"schema": 999, "workload": "w"}`)},
+		{"identity-mismatch", []byte(`{"schema": 1, "workload": "other", "params_key": "quick=true;seed=7", "result": {"workload": "other", "text": "t"}}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := os.WriteFile(file, tc.data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("w", p, "v1"); ok {
+				t.Fatalf("%s entry served as a hit", tc.name)
+			}
+			// Put must repair the damaged entry in place.
+			if err := c.Put("w", p, "v1", testResult("w", 1)); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := c.Get("w", p, "v1"); !ok {
+				t.Fatal("Put did not repair the entry")
+			}
+		})
+	}
+}
+
+// TestConcurrentWriters hammers one cache directory from many goroutines
+// mixing same-key and distinct-key writes; every subsequent read must be
+// a valid hit with the right content.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 16
+	const points = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < points; i++ {
+				id := fmt.Sprintf("w/%d", i)
+				p := params("i", fmt.Sprint(i))
+				if err := c.Put(id, p, "v1", testResult(id, float64(i))); err != nil {
+					errs <- err
+					return
+				}
+				if _, ok := c.Get(id, p, "v1"); !ok {
+					errs <- fmt.Errorf("writer %d: miss for %s right after Put", w, id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < points; i++ {
+		id := fmt.Sprintf("w/%d", i)
+		got, ok := c.Get(id, params("i", fmt.Sprint(i)), "v1")
+		if !ok {
+			t.Fatalf("miss for %s after concurrent writes", id)
+		}
+		if m, _ := got.Metric("gflops"); m.Value != float64(i) {
+			t.Fatalf("%s: got metric %v, want %d", id, m.Value, i)
+		}
+	}
+	n, err := c.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != points {
+		t.Fatalf("cache holds %d entries, want %d", n, points)
+	}
+	// No stray temp files may survive the stampede.
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range names {
+		if filepath.Ext(d.Name()) == ".tmp" {
+			t.Fatalf("stray temp file %s left behind", d.Name())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package cli
+
+// Result-cache wiring: the -cache flag shared by run, sweep and report.
+// With -cache unset the commands behave exactly as before; with it, jobs
+// whose (workload, canonical params, kernel version) triple has been run
+// before are served from disk through harness.CachingExecutor, and output
+// stays byte-identical either way.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/cache"
+	"repro/internal/harness"
+)
+
+// cacheFlags carries the result-cache flag common to run, sweep and
+// report.
+type cacheFlags struct {
+	dir string
+}
+
+func (cf *cacheFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&cf.dir, "cache", "", "serve repeat runs from the result cache in this directory (e.g. "+cache.DefaultDir+"); misses are recorded for next time")
+}
+
+// open validates the flag and returns the cache handle, or nil when the
+// flag is unset. It runs before any workload does, so a bad directory
+// fails fast.
+func (cf *cacheFlags) open() (*cache.Cache, error) {
+	if cf.dir == "" {
+		return nil, nil
+	}
+	return cache.Open(cf.dir)
+}
+
+// wrap layers the cache onto an executor; a nil cache leaves the executor
+// untouched.
+func wrapExecutor(ex harness.Executor, c *cache.Cache) harness.Executor {
+	if c == nil {
+		return ex
+	}
+	return &harness.CachingExecutor{Inner: ex, Cache: c}
+}
+
+// runCached runs one workload through the cache: a hit skips the run, a
+// miss runs and records. A nil cache degrades to a plain run. A cache
+// write failure is a stderr note, never a command failure — the result is
+// already in hand.
+func runCached(ctx context.Context, c *cache.Cache, w harness.Workload, p harness.Params, stderr io.Writer) (harness.Result, error) {
+	if c == nil {
+		res, err := w.Run(ctx, p)
+		if err == nil && res.WorkloadID == "" {
+			res.WorkloadID = w.ID()
+		}
+		return res, err
+	}
+	version := harness.VersionOf(w)
+	if res, ok := c.Get(w.ID(), p, version); ok {
+		if res.WorkloadID == "" {
+			res.WorkloadID = w.ID()
+		}
+		return res, nil
+	}
+	res, err := w.Run(ctx, p)
+	if err != nil {
+		return res, err
+	}
+	if res.WorkloadID == "" {
+		res.WorkloadID = w.ID()
+	}
+	if perr := c.Put(w.ID(), p, version, res); perr != nil {
+		fmt.Fprintf(stderr, "hpcc: %v\n", perr)
+	}
+	return res, nil
+}

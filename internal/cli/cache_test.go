@@ -1,0 +1,150 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFlagValidationFailsFast: nonsensical -j/-shards/-cache values must
+// error before any workload runs, with a message naming the flag.
+func TestFlagValidationFailsFast(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"report-j-zero", []string{"report", "-quick", "-j", "0"}, "-j must be at least 1"},
+		{"report-j-negative", []string{"report", "-quick", "-j", "-3"}, "-j must be at least 1"},
+		{"sweep-j-zero", []string{"sweep", "-ids", "E1", "-j", "0"}, "-j must be at least 1"},
+		{"report-shards-negative", []string{"report", "-quick", "-shards", "-1"}, "-shards must be non-negative"},
+		{"sweep-shards-negative", []string{"sweep", "-ids", "E1", "-shards", "-2"}, "-shards must be non-negative"},
+		{"run-cache-blank", []string{"run", "E1", "-cache", "   "}, "empty cache directory"},
+		{"sweep-cache-blank", []string{"sweep", "-ids", "E1", "-cache", " "}, "empty cache directory"},
+		{"report-cache-blank", []string{"report", "-quick", "-cache", " "}, "empty cache directory"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := run(t, tc.args...)
+			if code == 0 {
+				t.Fatalf("%v exited 0, want failure", tc.args)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr, tc.want)
+			}
+			if stdout != "" {
+				t.Fatalf("failed fast yet produced output %q", stdout)
+			}
+		})
+	}
+}
+
+// TestReportCacheByteIdentity: cold-cache, warm-cache and uncached report
+// output must be byte-identical, and the warm run must populate from disk
+// (proved by the cache file count staying put).
+func TestReportCacheByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	plain, _, code := run(t, "report", "-quick")
+	if code != 0 {
+		t.Fatalf("uncached report exit %d", code)
+	}
+	cold, _, code := run(t, "report", "-quick", "-cache", dir)
+	if code != 0 {
+		t.Fatalf("cold cached report exit %d", code)
+	}
+	entries := cacheFiles(t, dir)
+	if entries != 7 {
+		t.Fatalf("cold report left %d cache entries, want 7", entries)
+	}
+	warm, _, code := run(t, "report", "-quick", "-cache", dir)
+	if code != 0 {
+		t.Fatalf("warm cached report exit %d", code)
+	}
+	if cold != plain || warm != plain {
+		t.Fatal("cached report output differs from uncached")
+	}
+	if n := cacheFiles(t, dir); n != entries {
+		t.Fatalf("warm report changed the cache (%d -> %d entries)", entries, n)
+	}
+}
+
+// TestRunCacheHitAndCorruptEntry: `hpcc run -cache` round-trips, and a
+// corrupted entry degrades to a recompute that repairs it.
+func TestRunCacheHitAndCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cold, _, code := run(t, "run", "E3", "-cache", dir)
+	if code != 0 {
+		t.Fatalf("cold run exit %d", code)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("cache files %v (err %v), want exactly 1", files, err)
+	}
+	warm, _, code := run(t, "run", "E3", "-cache", dir)
+	if code != 0 || warm != cold {
+		t.Fatalf("warm run exit %d, identical=%v", code, warm == cold)
+	}
+	if err := os.WriteFile(files[0], []byte("truncated garbag"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	repaired, _, code := run(t, "run", "E3", "-cache", dir)
+	if code != 0 || repaired != cold {
+		t.Fatalf("run with corrupt entry exit %d, identical=%v", code, repaired == cold)
+	}
+}
+
+// TestReportSingleExperimentCached: the -e fast path caches too, and the
+// cached bytes match the uncached single-exhibit output.
+func TestReportSingleExperimentCached(t *testing.T) {
+	dir := t.TempDir()
+	plain, _, code := run(t, "report", "-e", "E3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	cold, _, code := run(t, "report", "-e", "E3", "-cache", dir)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	warm, _, code := run(t, "report", "-e", "E3", "-cache", dir)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if cold != plain || warm != plain {
+		t.Fatal("cached -e output differs from uncached")
+	}
+	if n := cacheFiles(t, dir); n != 1 {
+		t.Fatalf("-e left %d cache entries, want 1", n)
+	}
+	// The full cached report must reuse the -e entry: same workload,
+	// same params, same version.
+	if _, _, code := run(t, "report", "-quick", "-cache", dir); code != 0 {
+		t.Fatal("cached full report failed after -e priming")
+	}
+}
+
+// TestSweepCacheParamPoints: parameter-sweep points cache per value, and
+// a second sweep over a superset reuses the overlap.
+func TestSweepCacheParamPoints(t *testing.T) {
+	dir := t.TempDir()
+	first, _, code := run(t, "sweep", "E3", "-quick", "-param", "unused", "-values", "a,b", "-cache", dir)
+	if code != 0 {
+		t.Fatalf("first sweep exit %d", code)
+	}
+	if n := cacheFiles(t, dir); n != 2 {
+		t.Fatalf("first sweep left %d entries, want 2 (one per point)", n)
+	}
+	second, _, code := run(t, "sweep", "E3", "-quick", "-param", "unused", "-values", "a,b", "-cache", dir)
+	if code != 0 || second != first {
+		t.Fatalf("warm sweep exit %d, identical=%v", code, second == first)
+	}
+}
+
+func cacheFiles(t *testing.T, dir string) int {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(files)
+}

@@ -76,10 +76,16 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
 	var sf storeFlags
 	sf.register(fs)
+	var cf cacheFlags
+	cf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	resultCache, err := cf.open()
+	if err != nil {
 		return err
 	}
 
@@ -87,7 +93,11 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	prog := core.NewProgram()
 	prog.Quick = *quick
 	if *exp != "" {
-		res, err := prog.ExperimentResult(*exp)
+		w, err := prog.ExperimentWorkload(*exp)
+		if err != nil {
+			return err
+		}
+		res, err := runCached(ctx, resultCache, w, reportParams, stderr)
 		if err != nil {
 			return err
 		}
@@ -100,6 +110,7 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if err != nil {
 		return err
 	}
+	ex = wrapExecutor(ex, resultCache)
 	// Text output streams: each exhibit prints as soon as every exhibit
 	// before it has finished, so long reports show progress. The bytes
 	// are identical to the old print-at-the-end path.
@@ -216,12 +227,18 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	fs.Var(&overrides, "p", "workload parameter override name=value (repeatable)")
 	var sf storeFlags
 	sf.register(fs)
+	var cf cacheFlags
+	cf.register(fs)
 	// Accept both "run <id> [flags]" and "run [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	resultCache, err := cf.open()
+	if err != nil {
 		return err
 	}
 	switch {
@@ -237,12 +254,9 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		return err
 	}
 	params := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
-	res, err := w.Run(ctx, params)
+	res, err := runCached(ctx, resultCache, w, params, stderr)
 	if err != nil {
 		return err
-	}
-	if res.WorkloadID == "" {
-		res.WorkloadID = w.ID()
 	}
 	if err := writeResult(stdout, res, *jsonOut); err != nil {
 		return err
@@ -265,12 +279,18 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	fs.Var(&overrides, "p", "workload parameter override name=value (repeatable)")
 	var sf storeFlags
 	sf.register(fs)
+	var cf cacheFlags
+	cf.register(fs)
 	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	resultCache, err := cf.open()
+	if err != nil {
 		return err
 	}
 	if id == "" && fs.NArg() == 1 {
@@ -322,6 +342,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
+	ex = wrapExecutor(ex, resultCache)
 	// Text output streams: each point prints as soon as every point
 	// before it has finished, so huge sweeps show progress; the bytes
 	// are identical to the old print-at-the-end path. Printing precedes

@@ -35,9 +35,18 @@ func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 
 // newExecutor picks the engine a sweep or report runs on: the in-process
 // pool, or (-shards > 0) that many child processes re-exec'ing this
-// binary's worker subcommand.
+// binary's worker subcommand. Nonsensical counts fail here, before any
+// workload runs: the executors would quietly reinterpret them (-j 0 as
+// "one per core", negative -shards as "no sharding"), which hides typos
+// like "-j $EMPTY_VAR".
 func newExecutor(shards, jobs int, stderr io.Writer) (harness.Executor, error) {
-	if shards <= 0 {
+	if jobs < 1 {
+		return nil, fmt.Errorf("-j must be at least 1 (got %d)", jobs)
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("-shards must be non-negative (got %d; 0 means the in-process pool)", shards)
+	}
+	if shards == 0 {
 		return harness.LocalExecutor{Workers: jobs}, nil
 	}
 	exe, err := os.Executable()

@@ -70,6 +70,13 @@ type Experiment struct {
 	Run   func(p *Program) (string, error)
 }
 
+// exhibitVersion is the exhibits' cache version (harness.Versioned): an
+// exhibit's Result is a pure function of (ID, Params.Quick, this string),
+// so the result cache can serve `hpcc report -cache` from disk. Bump it
+// whenever any exhibit's rendering or underlying model changes output for
+// a fixed Params — all seven share it, since they share the Program model.
+const exhibitVersion = "hpcc-1992.1"
+
 // exhibit is a paper exhibit as a harness workload: runnable against a
 // fresh default Program through the registry, or against a configured
 // Program through bind.
@@ -143,6 +150,14 @@ func (e exhibit) Description() string { return e.title }
 // quick/seed knobs.
 func (e exhibit) ParamSpace() []harness.Param { return nil }
 
+// WorkloadVersion implements harness.Versioned. boundExhibit inherits it,
+// so bound and registry-served exhibits share cache entries. That is
+// sound only while the bound Program matches a fresh NewProgram in every
+// field but Quick (the one field the cache key captures) — true for the
+// hpcc CLI; library callers who customize a Program must keep it off
+// caching executors (see ReportResultsExec).
+func (e exhibit) WorkloadVersion() string { return exhibitVersion }
+
 // Run implements harness.Workload against a fresh default Program. The
 // ctx check covers cancellation between exhibits; the simulations
 // themselves run to completion once started.
@@ -209,16 +224,36 @@ func (p *Program) RunExperiment(id string) (string, error) {
 // ExperimentResult regenerates a single exhibit by ID as a structured
 // harness result (title, paper claim, text, metrics).
 func (p *Program) ExperimentResult(id string) (harness.Result, error) {
+	e, err := findExhibit(id)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	return e.runWith(p)
+}
+
+// ExperimentWorkload returns one exhibit as a harness.Workload bound to
+// this Program — the handle result-cache callers need (stable ID, kernel
+// version) without running anything yet. Running it produces exactly
+// ExperimentResult's output.
+func (p *Program) ExperimentWorkload(id string) (harness.Workload, error) {
+	e, err := findExhibit(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.bind(p), nil
+}
+
+func findExhibit(id string) (exhibit, error) {
 	for _, e := range exhibits {
 		if strings.EqualFold(e.id, id) {
-			return e.runWith(p)
+			return e, nil
 		}
 	}
 	var ids []string
 	for _, e := range exhibits {
 		ids = append(ids, e.id)
 	}
-	return harness.Result{}, fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
+	return exhibit{}, fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(ids, ", "))
 }
 
 // WriteReport regenerates every exhibit into w, sequentially.
@@ -242,7 +277,12 @@ func (p *Program) ReportResults(ctx context.Context, workers int) ([]harness.Res
 // With a process-sharding executor the exhibits travel by registry ID and
 // rerun in the worker against a fresh default Program; only
 // Params{Quick: p.Quick} crosses the process boundary, so a Program with
-// any other field customized should stick to an in-process executor.
+// any other field customized should stick to an in-process executor. The
+// same impurity applies to harness.CachingExecutor: an exhibit's cache
+// identity is (ID, Params, exhibitVersion) — Quick is the only Program
+// field it captures — so a Program with a swapped Machine, Network,
+// Budget or Agencies would share entries with the default Program and
+// must not run through a cache.
 func (p *Program) ReportResultsExec(ctx context.Context, ex harness.Executor, emit func(int, harness.Result)) ([]harness.Result, error) {
 	jobs := make([]harness.Job, len(exhibits))
 	for i, e := range exhibits {

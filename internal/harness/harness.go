@@ -225,6 +225,25 @@ type Workload interface {
 	Run(ctx context.Context, p Params) (Result, error)
 }
 
+// Versioned is implemented by workloads that declare a kernel version.
+// The version participates in result-cache keys (repro/internal/cache),
+// so bumping it invalidates every cached result of the workload — the
+// discipline kernel authors follow when a change alters what a workload
+// computes or reports (see docs/WORKLOADS.md).
+type Versioned interface {
+	WorkloadVersion() string
+}
+
+// VersionOf returns w's declared kernel version, or "" for workloads that
+// do not declare one (which are still cacheable — they simply never
+// invalidate by version).
+func VersionOf(w Workload) string {
+	if v, ok := w.(Versioned); ok {
+		return v.WorkloadVersion()
+	}
+	return ""
+}
+
 // Spec is a Workload built from plain values — the common case, so a new
 // workload is a registration call rather than a new type.
 type Spec struct {
@@ -232,6 +251,12 @@ type Spec struct {
 	Desc       string
 	Space      []Param
 	RunFunc    func(ctx context.Context, p Params) (Result, error)
+	// Version is the workload's kernel version, surfaced through the
+	// Versioned interface. Results are pure functions of
+	// (WorkloadID, Params, Version) as far as the result cache is
+	// concerned; bump it whenever RunFunc's output for a given Params
+	// changes, or stale cache entries will keep serving the old output.
+	Version string
 	// MetricDirs declares the good direction of the workload's metrics
 	// by name (DirLower or DirHigher), overriding the delta reporter's
 	// name/unit heuristic. Run stamps each declared direction onto the
@@ -249,6 +274,9 @@ func (s Spec) Description() string { return s.Desc }
 
 // ParamSpace implements Workload.
 func (s Spec) ParamSpace() []Param { return s.Space }
+
+// WorkloadVersion implements Versioned.
+func (s Spec) WorkloadVersion() string { return s.Version }
 
 // Run implements Workload. It stamps the Spec's MetricDirs declarations
 // onto the result's metrics, leaving explicitly set directions alone.

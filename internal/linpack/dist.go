@@ -1,6 +1,7 @@
 package linpack
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,6 +32,11 @@ type Config struct {
 	// KeepFactors saves the gathered LU factors and pivots in the Outcome
 	// (real mode only); used by equivalence tests.
 	KeepFactors bool
+	// Ctx, if non-nil, cancels the run: the simulation tears down at the
+	// next collective boundary and Run returns Ctx.Err(). The sweep
+	// engine's per-job context arrives here through the registry
+	// workloads, so a cancelled sweep stops simulating promptly.
+	Ctx context.Context
 }
 
 // Outcome reports a completed run.
@@ -73,7 +79,7 @@ func Run(cfg Config) (*Outcome, error) {
 	var keptLU []float64
 	var keptPiv []int
 
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Trace: cfg.Trace}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Trace: cfg.Trace, Ctx: cfg.Ctx}, func(proc *nx.Proc) {
 		w := newWorker(proc, cfg)
 		w.factor()
 		// synchronize and record the timed region before verification
@@ -388,13 +394,19 @@ func (w *worker) applyTrailingSwaps(j0, kb, colOwner int) {
 	for _, s := range segs {
 		width += s[1] - s[0]
 	}
+	if width == 0 {
+		return
+	}
+	// All kb panel columns live in one distribution block, so the grid
+	// row owning row j is the same for every jj — hoist it out of the
+	// inner loop (this loop runs P x N times per factorization).
+	ownerJ := Owner(j0, w.nb, w.gr)
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
 		gRow := w.ipiv[j]
-		if gRow == j || width == 0 {
+		if gRow == j {
 			continue
 		}
-		ownerJ := Owner(j, w.nb, w.gr)
 		ownerG := Owner(gRow, w.nb, w.gr)
 		if w.pr != ownerJ && w.pr != ownerG {
 			continue

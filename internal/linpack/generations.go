@@ -1,6 +1,10 @@
 package linpack
 
-import "repro/internal/machine"
+import (
+	"context"
+
+	"repro/internal/machine"
+)
 
 // GenerationSweep runs the same LINPACK problem (phantom mode) on each
 // generation of the DARPA massively parallel series the paper situates the
@@ -8,6 +12,12 @@ import "repro/internal/machine"
 // full size with its most natural process grid. It quantifies the paper's
 // framing of the Delta as one step in a rapidly improving line.
 func GenerationSweep(n, nb int, seed int64) ([]Point, error) {
+	return GenerationSweepContext(context.Background(), n, nb, seed)
+}
+
+// GenerationSweepContext is GenerationSweep with cancellation: a done ctx
+// stops the current simulation at its next collective boundary.
+func GenerationSweepContext(ctx context.Context, n, nb int, seed int64) ([]Point, error) {
 	models := []machine.Model{machine.IPSC860(), machine.Delta(), machine.Paragon()}
 	cfgs := make([]Config, 0, len(models))
 	for _, m := range models {
@@ -15,6 +25,7 @@ func GenerationSweep(n, nb int, seed int64) ([]Point, error) {
 			N: n, NB: nb,
 			GridRows: m.Rows, GridCols: m.Cols,
 			Model: m, Phantom: true, Seed: seed,
+			Ctx: ctx,
 		})
 	}
 	return Sweep(cfgs)

@@ -1,0 +1,101 @@
+package nx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// TestCtxAlreadyCancelled: a done context stops the run before any
+// process body executes.
+func TestCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	res, err := Run(Config{Model: machine.SubMesh(machine.Delta(), 2, 2), Ctx: ctx}, func(p *Proc) {
+		ran = true
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("got a result %+v from a cancelled run", res)
+	}
+	if ran {
+		t.Fatal("body ran despite a pre-cancelled context")
+	}
+}
+
+// TestCtxCancelUnblocksReceive: cancelling mid-run unblocks a process
+// parked in a receive promptly — well before the deadlock watchdog
+// window — and surfaces the context error, not a deadlock.
+func TestCtxCancelUnblocksReceive(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(Config{
+		Model:         machine.SubMesh(machine.Delta(), 2, 2),
+		Ctx:           ctx,
+		DeadlockAfter: time.Hour, // the watchdog must not be what saves us
+	}, func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Recv(1, 5) // never sent: blocks until teardown
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt teardown", elapsed)
+	}
+}
+
+// TestCtxCancelStopsCollectiveLoop: a long collective-heavy loop (the
+// shape of every phantom workload) is abandoned mid-flight.
+func TestCtxCancelStopsCollectiveLoop(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	completed := make([]int, 16)
+	_, err := Run(Config{
+		Model:         machine.SubMesh(machine.Delta(), 4, 4),
+		Ctx:           ctx,
+		DeadlockAfter: time.Hour,
+	}, func(p *Proc) {
+		g := p.World()
+		for i := 0; i < 1_000_000; i++ {
+			g.ReducePhantom(0, 16)
+			g.BcastPhantom(0, 16)
+			completed[p.Rank()] = i
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for rank, n := range completed {
+		if n >= 1_000_000-1 {
+			t.Fatalf("rank %d ran the loop to completion despite cancellation", rank)
+		}
+	}
+}
+
+// TestNilCtxRunsToCompletion: the zero Config keeps the classic behavior.
+func TestNilCtxRunsToCompletion(t *testing.T) {
+	res, err := Run(Config{Model: machine.SubMesh(machine.Delta(), 2, 2)}, func(p *Proc) {
+		p.World().Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Makespan <= 0 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}

@@ -20,61 +20,134 @@ type Msg struct {
 
 // mailbox is the per-process receive queue with MPI-style (src, tag)
 // matching. put may be called from any goroutine; get only from the owner.
+//
+// Pending messages live in a pooled ring buffer: slots are reused across
+// the run, so the phantom-mode hot path (millions of payload-free
+// collective messages at Delta scale) performs no steady-state allocation
+// per message. The ring preserves arrival order, which is what makes
+// wildcard matching and per-sender FIFO behave exactly as the old
+// append/delete slice did.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []Msg
+	mu   sync.Mutex
+	cond *sync.Cond
+	// buf is the ring: count messages starting at head, oldest first.
+	buf     []Msg
+	head    int
+	count   int
 	aborted bool
 	// wantSrc/wantTag describe the in-progress blocked receive for
-	// deadlock diagnostics; valid only while waiting is true.
+	// deadlock diagnostics; valid only while waiting is true. waiting
+	// also gates the wakeup signal: a put that finds no blocked owner
+	// skips the notify entirely (the owner will scan the ring on its
+	// next get), which removes a futex operation from most deliveries.
 	waiting bool
 	wantSrc int
 	wantTag Tag
+
+	// Watchdog counters, sharded per process so the hot path never
+	// contends on a shared cache line. sent counts messages sent *by*
+	// this mailbox's owner (updated only from the owner goroutine);
+	// blocked is 1 while the owner is parked in a receive. The deadlock
+	// watchdog sums both across all processes.
+	sent    atomic.Uint64
+	blocked atomic.Int32
 }
 
 func (m *mailbox) init() {
 	m.cond = sync.NewCond(&m.mu)
 }
 
-func (m *mailbox) put(rt *runtime, msg Msg) {
+// put appends one message to the ring, constructing it in place in the
+// ring slot — the pooled scratch that keeps the phantom hot path at one
+// struct store per delivery, no intermediate Msg value.
+//
+// The wakeup is match-aware: a parked owner is signalled only when the
+// arriving message satisfies the (src, tag) it is blocked on. Eager
+// sending means messages for *future* receives routinely land while the
+// owner waits on an earlier one; waking it to rescan and re-park for each
+// of those is pure scheduler churn. A non-matching message just joins the
+// ring — the owner's next full scan (on the matching wakeup, or on its
+// next get) finds it there.
+func (m *mailbox) put(src int, tag Tag, data []byte, floats []float64, nbytes int, arriveAt float64) {
 	m.mu.Lock()
-	m.pending = append(m.pending, msg)
+	if m.count == len(m.buf) {
+		m.grow()
+	}
+	m.buf[(m.head+m.count)%len(m.buf)] = Msg{
+		Src: src, Tag: tag, Data: data, Floats: floats,
+		Bytes: nbytes, ArriveAt: arriveAt,
+	}
+	m.count++
+	wake := m.waiting &&
+		(m.wantSrc == AnySrc || src == m.wantSrc) &&
+		(m.wantTag == AnyTag || tag == m.wantTag)
 	m.mu.Unlock()
-	atomic.AddUint64(&rt.puts, 1)
-	m.cond.Signal()
+	if wake {
+		m.cond.Signal()
+	}
+}
+
+// grow doubles the ring (from a small floor), unrolling it so the oldest
+// message lands at index 0.
+func (m *mailbox) grow() {
+	n := 2 * len(m.buf)
+	if n < 8 {
+		n = 8
+	}
+	nb := make([]Msg, n)
+	for i := 0; i < m.count; i++ {
+		nb[i] = m.buf[(m.head+i)%len(m.buf)]
+	}
+	m.buf = nb
+	m.head = 0
 }
 
 // get blocks until a message matching (src, tag) is available and removes
 // it from the queue. Matching scans pending messages in arrival order, so
 // messages from a given source are received in the order they were sent.
-func (m *mailbox) get(rt *runtime, src int, tag Tag) Msg {
+func (m *mailbox) get(src int, tag Tag) Msg {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
 		if m.aborted {
 			panic(deadlockSignal{})
 		}
-		for i := range m.pending {
-			msg := m.pending[i]
+		for i := 0; i < m.count; i++ {
+			msg := &m.buf[(m.head+i)%len(m.buf)]
 			if (src == AnySrc || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return msg
+				out := *msg
+				m.remove(i)
+				return out
 			}
 		}
 		m.waiting, m.wantSrc, m.wantTag = true, src, tag
-		atomic.AddInt64(&rt.blocked, 1)
+		m.blocked.Store(1)
 		m.cond.Wait()
-		atomic.AddInt64(&rt.blocked, -1)
+		m.blocked.Store(0)
 		m.waiting = false
 	}
+}
+
+// remove deletes the i-th pending message (0 = oldest), preserving the
+// order of the rest. The common case — matching the oldest message — is a
+// head advance; otherwise the messages older than i shift up by one slot.
+// The vacated slot is zeroed so the ring does not pin payload slices.
+func (m *mailbox) remove(i int) {
+	n := len(m.buf)
+	for j := i; j > 0; j-- {
+		m.buf[(m.head+j)%n] = m.buf[(m.head+j-1)%n]
+	}
+	m.buf[m.head] = Msg{}
+	m.head = (m.head + 1) % n
+	m.count--
 }
 
 // probe reports whether a matching message is available without removing it.
 func (m *mailbox) probe(src int, tag Tag) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for i := range m.pending {
-		msg := m.pending[i]
+	for i := 0; i < m.count; i++ {
+		msg := &m.buf[(m.head+i)%len(m.buf)]
 		if (src == AnySrc || msg.Src == src) && (tag == AnyTag || msg.Tag == tag) {
 			return true
 		}
@@ -105,5 +178,5 @@ func (m *mailbox) waitingFor() string {
 	if m.wantTag != AnyTag {
 		tag = fmt.Sprintf("%d", int(m.wantTag))
 	}
-	return fmt.Sprintf("(src=%s, tag=%s) with %d pending", src, tag, len(m.pending))
+	return fmt.Sprintf("(src=%s, tag=%s) with %d pending", src, tag, m.count)
 }

@@ -21,10 +21,10 @@
 package nx
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -58,6 +58,12 @@ type Config struct {
 	// DeadlockAfter overrides the watchdog quiescence interval (host time).
 	// Zero means the 2s default. Tests inject small values.
 	DeadlockAfter time.Duration
+	// Ctx, if non-nil, cancels the run: once Ctx is done, every process
+	// is unblocked at its next receive (the boundary every collective
+	// passes through), the run tears down, and Run returns Ctx.Err()
+	// instead of a result. A nil Ctx preserves the classic
+	// run-to-completion behavior.
+	Ctx context.Context
 }
 
 // ProcStats summarizes one process after a run.
@@ -127,10 +133,15 @@ func (e *PanicError) Error() string {
 
 // Run executes body on every process of a fresh runtime and returns the
 // aggregated result. It blocks until all processes finish, one of them
-// panics, or the deadlock watchdog trips.
+// panics, the deadlock watchdog trips, or cfg.Ctx is cancelled.
 func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 	if err := cfg.Model.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	n := cfg.Procs
 	if n == 0 {
@@ -152,6 +163,7 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 			model: cfg.Model,
 			rt:    rt,
 		}
+		p.initCaches()
 		p.mbox.init()
 		if cfg.Trace != nil {
 			p.tview = cfg.Trace.Proc(i)
@@ -180,7 +192,10 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 
 	// Deadlock watchdog: if every process is blocked in recv and no
 	// deliveries happen across a quiescence window, the run cannot make
-	// progress.
+	// progress. The counters it sums are sharded per process (see
+	// mailbox.sent/blocked), so the watchdog pays the aggregation cost —
+	// a few hundred atomic loads four times per second — instead of the
+	// hot path paying a contended atomic per message.
 	stop := make(chan struct{})
 	var watchErr error
 	var watchWg sync.WaitGroup
@@ -196,9 +211,8 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 			case <-stop:
 				return
 			case <-tick.C:
-				blocked := atomic.LoadInt64(&rt.blocked)
-				puts := atomic.LoadUint64(&rt.puts)
-				if int(blocked) == n && puts == lastPuts {
+				blocked, puts := rt.counters()
+				if blocked == n && puts == lastPuts {
 					stable++
 					if stable >= 4 { // a full quiescence window
 						watchErr = &DeadlockError{Waiters: rt.waiters()}
@@ -213,10 +227,32 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		}
 	}()
 
+	// Cancellation watcher: a done Ctx aborts the runtime, which unblocks
+	// every receive — the boundary all collectives pass through — so a
+	// cancelled sweep job stops promptly instead of simulating to the end.
+	if cfg.Ctx != nil {
+		watchWg.Add(1)
+		go func() {
+			defer watchWg.Done()
+			select {
+			case <-stop:
+			case <-cfg.Ctx.Done():
+				rt.abort()
+			}
+		}()
+	}
+
 	wg.Wait()
 	close(stop)
 	watchWg.Wait()
 	close(errCh)
+	if cfg.Ctx != nil {
+		if err := cfg.Ctx.Err(); err != nil {
+			// The processes were torn down mid-run; the cancellation, not
+			// any secondary teardown symptom, is the run's outcome.
+			return nil, err
+		}
+	}
 	if watchErr != nil {
 		return nil, watchErr
 	}
@@ -240,9 +276,17 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 
 // runtime is the shared state of one Run invocation.
 type runtime struct {
-	procs   []*Proc
-	blocked int64  // processes currently blocked in recv
-	puts    uint64 // total deliveries, for quiescence detection
+	procs []*Proc
+}
+
+// counters aggregates the per-process watchdog shards: how many processes
+// are blocked in a receive right now, and the total messages sent so far.
+func (rt *runtime) counters() (blocked int, puts uint64) {
+	for _, p := range rt.procs {
+		blocked += int(p.mbox.blocked.Load())
+		puts += p.mbox.sent.Load()
+	}
+	return blocked, puts
 }
 
 func (rt *runtime) abort() {

@@ -19,6 +19,54 @@ type Proc struct {
 	rt    *runtime
 	stats ProcStats
 	tview *trace.ProcView
+
+	// Hot-path caches derived from model at construction. Method calls on
+	// machine.Model copy the whole struct (~100 bytes) per call, which at
+	// Delta scale is millions of copies per phantom run; these scalars
+	// make sends and compute charges copy-free while producing bit-
+	// identical virtual times (same formulas, same operand values).
+	meshCols     int
+	myRow, myCol int
+	rates        [numRateOps]float64 // machine.Compute.Rate(op) per op
+}
+
+// numRateOps covers the machine.Op classes (gemm, panel, vector, scalar).
+// An op outside the cached range falls back to the model's own method.
+const numRateOps = 4
+
+// initCaches fills the derived hot-path fields from the model.
+func (p *Proc) initCaches() {
+	p.meshCols = p.model.Cols
+	p.myRow, p.myCol = p.model.Coord(p.rank)
+	for op := 0; op < numRateOps; op++ {
+		p.rates[op] = p.model.Compute.Rate(machine.Op(op))
+	}
+}
+
+// hops is machine.Model.Hops for this process's own rank without the
+// receiver copy: the Manhattan distance of dimension-order routing.
+func (p *Proc) hops(dst int) int {
+	dr, dc := dst/p.meshCols, dst%p.meshCols
+	return iabs(p.myRow-dr) + iabs(p.myCol-dc)
+}
+
+// computeTime is machine.Model.ComputeTime without the receiver copy. The
+// expression mirrors the model's exactly, so charges are bit-identical.
+func (p *Proc) computeTime(op machine.Op, flops float64) float64 {
+	if flops <= 0 {
+		return 0
+	}
+	if op < 0 || int(op) >= numRateOps {
+		return p.model.ComputeTime(op, flops)
+	}
+	return flops / (p.rates[op] * 1e6)
+}
+
+func iabs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // Rank returns this process's rank in [0, Size()).
@@ -34,14 +82,17 @@ func (p *Proc) Model() machine.Model { return p.model }
 func (p *Proc) Now() float64 { return p.clock.Now() }
 
 // Compute charges flops floating-point operations of the given class to the
-// local clock through the machine model.
+// local clock through the machine model. Non-positive charges are exact
+// no-ops (zero duration, zero flops, and the trace drops zero-width
+// spans), so they return before touching the clock.
 func (p *Proc) Compute(op machine.Op, flops float64) {
-	d := p.model.ComputeTime(op, flops)
+	if flops <= 0 {
+		return
+	}
+	d := p.computeTime(op, flops)
 	start := p.clock.Now()
 	p.clock.Advance(d)
-	if flops > 0 {
-		p.stats.Flops += flops
-	}
+	p.stats.Flops += flops
 	p.stats.ComputeTime += d
 	p.tview.Add(trace.PhaseCompute, start, p.clock.Now())
 }
@@ -87,11 +138,12 @@ func (p *Proc) sendRaw(dst int, tag Tag, data []byte, floats []float64, nbytes i
 	start := p.clock.Now()
 	p.clock.Advance(p.model.Net.SendOverhead + float64(nbytes)*p.model.Net.ByteTime)
 	arrive := p.clock.Now() + p.model.Net.Latency +
-		float64(p.model.Hops(p.rank, dst))*p.model.Net.PerHop
-	p.rt.procs[dst].mbox.put(p.rt, Msg{
-		Src: p.rank, Tag: tag, Data: data, Floats: floats,
-		Bytes: nbytes, ArriveAt: arrive,
-	})
+		float64(p.hops(dst))*p.model.Net.PerHop
+	p.rt.procs[dst].mbox.put(p.rank, tag, data, floats, nbytes, arrive)
+	// The delivery count feeds the deadlock watchdog's quiescence check;
+	// it is sharded onto the sender's own mailbox to keep the hot path
+	// off any shared cache line.
+	p.mbox.sent.Add(1)
 	p.stats.BytesSent += int64(nbytes)
 	p.stats.MsgsSent++
 	p.tview.Add(trace.PhaseSend, start, p.clock.Now())
@@ -129,7 +181,7 @@ func (p *Proc) recvRaw(src int, tag Tag) Msg {
 		panic(fmt.Sprintf("nx: rank %d receiving from invalid rank %d", p.rank, src))
 	}
 	start := p.clock.Now()
-	msg := p.mbox.get(p.rt, src, tag)
+	msg := p.mbox.get(src, tag)
 	if msg.ArriveAt > p.clock.Now() {
 		p.stats.RecvWait += msg.ArriveAt - p.clock.Now()
 		p.clock.MergeAtLeast(msg.ArriveAt)
