@@ -109,6 +109,28 @@ func BenchmarkE4LinpackDelta(b *testing.B) {
 	b.ReportMetric(linpack.PredictGFlops(cfg), "model-GFLOPS")
 }
 
+// BenchmarkE4LinpackDeltaTreeCollectives is BenchmarkE4LinpackDelta on
+// the legacy tree-message collective path: the ratio against the fused
+// default is the fused engine's speedup, tracked in BENCH_report.json.
+func BenchmarkE4LinpackDeltaTreeCollectives(b *testing.B) {
+	prev := nx.DefaultCollectives()
+	nx.SetDefaultCollectives(nx.CollectivesTree)
+	defer nx.SetDefaultCollectives(prev)
+	cfg := linpack.Config{
+		N: 25000, NB: 16, GridRows: 16, GridCols: 33,
+		Model: machine.Delta(), Phantom: true, Seed: 1992,
+	}
+	var vtime float64
+	for i := 0; i < b.N; i++ {
+		out, err := linpack.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vtime = out.FactTime
+	}
+	b.ReportMetric(vtime, "simulated-s")
+}
+
 // BenchmarkE5ConsortiumNetwork reproduces the network figure: a 10 MB
 // transfer over each of the six link classes; reports the extreme times.
 func BenchmarkE5ConsortiumNetwork(b *testing.B) {

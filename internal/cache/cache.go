@@ -41,7 +41,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -161,6 +163,91 @@ func (c *Cache) Put(workloadID string, p harness.Params, version string, res har
 		return fmt.Errorf("cache: commit entry %s: %w", workloadID, err)
 	}
 	return nil
+}
+
+// PruneStats reports what a Prune pass did.
+type PruneStats struct {
+	Kept       int   // entries remaining
+	KeptBytes  int64 // bytes remaining
+	Evicted    int   // entries removed
+	FreedBytes int64 // bytes removed
+}
+
+// Prune evicts cache entries by age and total size: entries whose file
+// modification time is older than maxAge go first (maxAge <= 0 means no
+// age bound), then the oldest remaining entries until the cache fits in
+// maxSize bytes (maxSize <= 0 means no size bound). Eviction order is
+// oldest-written-first: Get does not refresh modification times, so this
+// is FIFO by write (or rewrite) time, not LRU — a frequently hit entry
+// written long ago is evicted before a never-hit entry written
+// yesterday. A missing cache directory prunes to nothing. Entries that
+// disappear mid-prune (a concurrent pruner) are counted as already gone;
+// non-entry files in the directory are left alone.
+func (c *Cache) Prune(maxAge time.Duration, maxSize int64) (PruneStats, error) {
+	var st PruneStats
+	dirents, err := os.ReadDir(c.dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return st, fmt.Errorf("cache: read %s: %w", c.dir, err)
+	}
+	type entryFile struct {
+		name string
+		mod  time.Time
+		size int64
+	}
+	var files []entryFile
+	for _, d := range dirents {
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			continue
+		}
+		info, err := d.Info()
+		if err != nil {
+			continue // raced away; nothing to evict
+		}
+		files = append(files, entryFile{name: d.Name(), mod: info.ModTime(), size: info.Size()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	cutoff := time.Time{}
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	evict := func(f entryFile) error {
+		if err := os.Remove(filepath.Join(c.dir, f.name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("cache: evict %s: %w", f.name, err)
+		}
+		st.Evicted++
+		st.FreedBytes += f.size
+		total -= f.size
+		return nil
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if maxAge > 0 && f.mod.Before(cutoff) {
+			if err := evict(f); err != nil {
+				return st, err
+			}
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, f := range kept {
+		if maxSize <= 0 || total <= maxSize {
+			st.Kept++
+			st.KeptBytes += f.size
+			continue
+		}
+		if err := evict(f); err != nil {
+			return st, err
+		}
+	}
+	return st, nil
 }
 
 // Len reports how many entries the cache currently holds — a convenience

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 )
@@ -219,5 +221,105 @@ func TestConcurrentWriters(t *testing.T) {
 		if filepath.Ext(d.Name()) == ".tmp" {
 			t.Fatalf("stray temp file %s left behind", d.Name())
 		}
+	}
+}
+
+// TestPruneByAge: entries older than -max-age are evicted, newer ones
+// survive, and repeat prunes are no-ops.
+func TestPruneByAge(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("w/%d", i)
+		if err := c.Put(id, params(), "v1", harness.Result{WorkloadID: id, Text: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate two entries far past any cutoff.
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(names) != 4 {
+		t.Fatalf("glob: %v (%d files)", err, len(names))
+	}
+	sort.Strings(names)
+	old := time.Now().Add(-48 * time.Hour)
+	for _, name := range names[:2] {
+		if err := os.Chtimes(name, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := c.Prune(24*time.Hour, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 2 || st.Kept != 2 {
+		t.Fatalf("prune stats %+v, want 2 evicted / 2 kept", st)
+	}
+	if n, _ := c.Len(); n != 2 {
+		t.Fatalf("cache holds %d entries after prune, want 2", n)
+	}
+	st, err = c.Prune(24*time.Hour, 0)
+	if err != nil || st.Evicted != 0 {
+		t.Fatalf("second prune evicted %d (err %v), want 0", st.Evicted, err)
+	}
+}
+
+// TestPruneBySize: the oldest entries go first until the cache fits the
+// byte budget; newest entries survive and still serve hits.
+func TestPruneBySize(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int64
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("w/%d", i)
+		if err := c.Put(id, params(), "v1", harness.Result{WorkloadID: id, Text: "payload"}); err != nil {
+			t.Fatal(err)
+		}
+		// Space the mtimes so eviction order is deterministic.
+		key := Key(id, params(), "v1")
+		when := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, key+".json"), when, when); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(filepath.Join(dir, key+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, info.Size())
+	}
+	budget := sizes[3] + sizes[4] // room for exactly the two newest
+	st, err := c.Prune(0, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 3 || st.Kept != 2 || st.KeptBytes > budget {
+		t.Fatalf("prune stats %+v (budget %d), want 3 evicted / 2 kept", st, budget)
+	}
+	if _, ok := c.Get("w/4", params(), "v1"); !ok {
+		t.Fatal("newest entry evicted by size prune")
+	}
+	if _, ok := c.Get("w/0", params(), "v1"); ok {
+		t.Fatal("oldest entry survived size prune")
+	}
+}
+
+// TestPruneMissingDir: pruning a cache that was never written is a
+// successful no-op.
+func TestPruneMissingDir(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Prune(time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (PruneStats{}) {
+		t.Fatalf("prune of missing dir reported %+v", st)
 	}
 }

@@ -148,3 +148,63 @@ func cacheFiles(t *testing.T, dir string) int {
 	}
 	return len(files)
 }
+
+// TestCachePruneCommand: `hpcc cache prune` evicts by size, reports what
+// it did, and pruned points simply recompute on the next cached run.
+func TestCachePruneCommand(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, code := run(t, "report", "-quick", "-cache", dir); code != 0 {
+		t.Fatal("priming report failed")
+	}
+	if n := cacheFiles(t, dir); n == 0 {
+		t.Fatal("priming report cached nothing")
+	}
+	stdout, stderr, code := run(t, "cache", "prune", "-cache", dir, "-max-size", "1")
+	if code != 0 {
+		t.Fatalf("cache prune exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "evicted") {
+		t.Fatalf("prune output %q does not report evictions", stdout)
+	}
+	if n := cacheFiles(t, dir); n != 0 {
+		t.Fatalf("%d entries survived a 1-byte budget", n)
+	}
+	// The cache still works after being emptied.
+	if _, _, code := run(t, "run", "E3", "-quick", "-cache", dir); code != 0 {
+		t.Fatal("cached run after prune failed")
+	}
+	if n := cacheFiles(t, dir); n != 1 {
+		t.Fatalf("recompute after prune left %d entries, want 1", n)
+	}
+}
+
+// TestCachePruneValidation: prune without a bound, or an unknown cache
+// subcommand, fails fast with a usable message.
+func TestCachePruneValidation(t *testing.T) {
+	if _, stderr, code := run(t, "cache", "prune", "-cache", t.TempDir()); code == 0 ||
+		!strings.Contains(stderr, "-max-age and/or -max-size") {
+		t.Fatalf("boundless prune: exit %d, stderr %q", code, stderr)
+	}
+	if _, stderr, code := run(t, "cache", "flush"); code == 0 ||
+		!strings.Contains(stderr, "unknown subcommand") {
+		t.Fatalf("unknown subcommand: exit %d, stderr %q", code, stderr)
+	}
+	if _, _, code := run(t, "cache"); code == 0 {
+		t.Fatal("bare `hpcc cache` should fail with usage")
+	}
+}
+
+// TestCachePruneMaxAgeKeepsFresh: a generous -max-age evicts nothing
+// that was just written.
+func TestCachePruneMaxAgeKeepsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, code := run(t, "run", "E3", "-quick", "-cache", dir); code != 0 {
+		t.Fatal("priming run failed")
+	}
+	if _, _, code := run(t, "cache", "prune", "-cache", dir, "-max-age", "24h"); code != 0 {
+		t.Fatal("prune failed")
+	}
+	if n := cacheFiles(t, dir); n != 1 {
+		t.Fatalf("fresh entry evicted by 24h age bound (%d left)", n)
+	}
+}

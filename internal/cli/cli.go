@@ -68,6 +68,7 @@ func commands() []command {
 		{"sweep", "run a set of workloads, or one workload over parameter values", cmdSweep},
 		{"worker", "serve sweep jobs from stdin as JSONL (the -shards child process)", cmdWorker},
 		{"diff", "compare two stored snapshots and flag metric regressions", cmdDiff},
+		{"cache", "result-cache maintenance: prune entries by age/size", cmdCache},
 		{"linpack", "LINPACK benchmark and parameter sweeps (legacy tool)", cmdLinpack},
 		{"nren", "consortium network experiments (legacy tool)", cmdNren},
 		{"delta", "Delta mesh interconnect characterization (legacy tool)", cmdDelta},

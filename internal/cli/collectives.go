@@ -1,0 +1,42 @@
+package cli
+
+// Collective-mode wiring: the -collectives flag shared by run, sweep and
+// report. The nx runtime computes collectives with the fused analytic
+// engine by default; -collectives tree selects the legacy per-edge
+// message path. Both produce byte-identical output (CI-gated), so the
+// flag exists for differential testing and as an escape hatch.
+
+import (
+	"flag"
+	"os"
+
+	"repro/internal/nx"
+)
+
+// collectivesEnv propagates the choice to `hpcc worker` child processes,
+// which are re-exec'ed without flags (see nx's init).
+const collectivesEnv = "HPCC_COLLECTIVES"
+
+// collectivesFlags carries the -collectives flag.
+type collectivesFlags struct {
+	mode string
+}
+
+func (cf *collectivesFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&cf.mode, "collectives", "", "collective engine: fused (default) or tree; output is byte-identical either way")
+}
+
+// apply validates the flag and installs the mode process-wide (including
+// the environment, so -shards worker children inherit it). A blank flag
+// leaves the default alone.
+func (cf *collectivesFlags) apply() error {
+	if cf.mode == "" {
+		return nil
+	}
+	m, err := nx.ParseCollectiveMode(cf.mode)
+	if err != nil {
+		return err
+	}
+	nx.SetDefaultCollectives(m)
+	return os.Setenv(collectivesEnv, m.String())
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 
 	"repro/internal/agency"
+	"repro/internal/cache"
 	"repro/internal/funding"
 	"repro/internal/harness"
 	"repro/internal/linpack"
@@ -19,7 +20,7 @@ import (
 	"repro/internal/report"
 )
 
-func cmdLinpack(_ context.Context, args []string, stdout, stderr io.Writer) error {
+func cmdLinpack(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hpcc linpack", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	n := fs.Int("n", 25000, "matrix order")
@@ -28,83 +29,83 @@ func cmdLinpack(_ context.Context, args []string, stdout, stderr io.Writer) erro
 	pc := fs.Int("pc", 33, "process grid columns")
 	sweep := fs.String("sweep", "", "sweep a parameter: n, nb, grid or machines")
 	real := fs.Bool("real", false, "real numerics (small N) with residual check")
+	var xf collectivesFlags
+	xf.register(fs)
+	var cf cacheFlags
+	cf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
-
-	model := machine.Delta()
-	base := linpack.Config{
-		N: *n, NB: *nb, GridRows: *pr, GridCols: *pc,
-		Model: model, Phantom: !*real, Seed: 1992,
+	if err := xf.apply(); err != nil {
+		return err
+	}
+	resultCache, err := cf.open()
+	if err != nil {
+		return err
 	}
 
-	switch *sweep {
-	case "":
+	// The real-numerics run is the one path the registry does not serve
+	// (workloads are phantom-mode); it stays direct and uncached.
+	if *real {
+		if *sweep != "" {
+			return fmt.Errorf("linpack: -real does not combine with -sweep")
+		}
+		base := linpack.Config{
+			N: *n, NB: *nb, GridRows: *pr, GridCols: *pc,
+			Model: machine.Delta(), Phantom: false, Seed: 1992,
+		}
 		out, err := linpack.Run(base)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(stdout, linpack.Table("LINPACK", []linpack.Point{{Config: base, Outcome: out}}).Render())
-		if *real {
-			fmt.Fprintf(stdout, "normalized residual: %.3f\n", out.Residual)
-		}
+		fmt.Fprintf(stdout, "normalized residual: %.3f\n", out.Residual)
+		return nil
+	}
+
+	// Phantom runs are veneers over the registry workloads (same configs,
+	// same rendered tables), so -cache serves repeats from disk exactly
+	// as it does for run/sweep/report.
+	vals := map[string]string{
+		"n":  strconv.Itoa(*n),
+		"nb": strconv.Itoa(*nb),
+		"pr": strconv.Itoa(*pr),
+		"pc": strconv.Itoa(*pc),
+	}
+	var id string
+	switch *sweep {
+	case "":
+		id = "linpack/delta"
 	case "n":
-		var cfgs []linpack.Config
-		for _, nn := range []int{2000, 5000, 10000, 15000, 20000, 25000} {
-			c := base
-			c.N = nn
-			cfgs = append(cfgs, c)
-		}
-		pts, err := linpack.Sweep(cfgs)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, linpack.Table("LINPACK GFLOPS vs matrix order (Delta model)", pts).Render())
+		id = "linpack/sweep-n"
+		delete(vals, "n") // the sweep supplies the orders
 	case "nb":
-		var cfgs []linpack.Config
-		for _, b := range []int{4, 8, 16, 32, 64} {
-			c := base
-			c.NB = b
-			cfgs = append(cfgs, c)
-		}
-		pts, err := linpack.Sweep(cfgs)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, linpack.Table("LINPACK GFLOPS vs block size (Delta model)", pts).Render())
+		id = "linpack/sweep-nb"
+		delete(vals, "nb") // the sweep supplies the block sizes
 	case "grid":
-		var cfgs []linpack.Config
-		for _, g := range [][2]int{{1, 528}, {2, 264}, {4, 132}, {8, 66}, {16, 33}, {22, 24}} {
-			c := base
-			c.GridRows, c.GridCols = g[0], g[1]
-			cfgs = append(cfgs, c)
-		}
-		pts, err := linpack.Sweep(cfgs)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, linpack.Table("LINPACK GFLOPS vs process grid shape (Delta model)", pts).Render())
+		id = "linpack/sweep-grid"
+		delete(vals, "pr") // the sweep supplies the grids
+		delete(vals, "pc")
 	case "machines":
-		pts, err := linpack.GenerationSweep(8192, *nb, 1992)
-		if err != nil {
-			return err
-		}
-		fmt.Fprint(stdout, linpack.Table("LINPACK N=8192 across the DARPA machine series", pts).Render())
+		id = "linpack/generations"
+		vals = map[string]string{"n": "8192", "nb": strconv.Itoa(*nb)}
 	default:
 		return fmt.Errorf("unknown sweep %q (want n, nb, grid or machines)", *sweep)
 	}
-	return nil
+	return runRegisteredCached(ctx, resultCache, stdout, stderr, id, vals)
 }
 
-// runRegistered runs a registry workload with the given overrides and
-// writes its rendered text — the legacy commands are thin veneers over
-// the same workloads the registry serves.
-func runRegistered(ctx context.Context, stdout io.Writer, id string, values map[string]string) error {
+// runRegisteredCached runs a registry workload with the given overrides
+// through the result cache (nil cache = plain run) and writes its
+// rendered text — the legacy commands are thin veneers over the same
+// workloads the registry serves, so -cache behaves exactly as it does on
+// run/sweep/report.
+func runRegisteredCached(ctx context.Context, c *cache.Cache, stdout, stderr io.Writer, id string, values map[string]string) error {
 	w, err := harness.Lookup(id)
 	if err != nil {
 		return err
 	}
-	res, err := w.Run(ctx, harness.Params{Values: values})
+	res, err := runCached(ctx, c, w, harness.Params{Values: values}, stderr)
 	if err != nil {
 		return err
 	}
@@ -117,23 +118,29 @@ func cmdNren(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	fs.SetOutput(stderr)
 	bytes := fs.Float64("bytes", 10e6, "reference transfer size in bytes")
 	storm := fs.Bool("storm", false, "run all-pairs concurrent transfers")
+	var cf cacheFlags
+	cf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
+	resultCache, err := cf.open()
+	if err != nil {
+		return err
+	}
 
 	vals := map[string]string{"bytes": strconv.FormatFloat(*bytes, 'g', -1, 64)}
-	if err := runRegistered(ctx, stdout, "nren/link-classes", vals); err != nil {
+	if err := runRegisteredCached(ctx, resultCache, stdout, stderr, "nren/link-classes", vals); err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout)
-	if err := runRegistered(ctx, stdout, "nren/transfer-matrix", vals); err != nil {
+	if err := runRegisteredCached(ctx, resultCache, stdout, stderr, "nren/transfer-matrix", vals); err != nil {
 		return err
 	}
 	if !*storm {
 		return nil
 	}
 	fmt.Fprintln(stdout)
-	return runRegistered(ctx, stdout, "nren/storm", vals)
+	return runRegisteredCached(ctx, resultCache, stdout, stderr, "nren/storm", vals)
 }
 
 func cmdDelta(ctx context.Context, args []string, stdout, stderr io.Writer) error {
@@ -144,11 +151,17 @@ func cmdDelta(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	pattern := fs.String("pattern", "uniform", "traffic pattern: uniform, transpose, hotspot, neighbor")
 	bytes := fs.Int("bytes", 1024, "packet size")
 	packets := fs.Int("packets", 50, "packets per node")
+	var cf cacheFlags
+	cf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
+	resultCache, err := cf.open()
+	if err != nil {
+		return err
+	}
 
-	return runRegistered(ctx, stdout, "mesh/saturation", map[string]string{
+	return runRegisteredCached(ctx, resultCache, stdout, stderr, "mesh/saturation", map[string]string{
 		"rows":    strconv.Itoa(*rows),
 		"cols":    strconv.Itoa(*cols),
 		"pattern": *pattern,

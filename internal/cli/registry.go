@@ -78,10 +78,15 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	sf.register(fs)
 	var cf cacheFlags
 	cf.register(fs)
+	var xf collectivesFlags
+	xf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	if err := xf.apply(); err != nil {
 		return err
 	}
 	resultCache, err := cf.open()
@@ -229,12 +234,17 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	sf.register(fs)
 	var cf cacheFlags
 	cf.register(fs)
+	var xf collectivesFlags
+	xf.register(fs)
 	// Accept both "run <id> [flags]" and "run [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	if err := xf.apply(); err != nil {
 		return err
 	}
 	resultCache, err := cf.open()
@@ -281,12 +291,17 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	sf.register(fs)
 	var cf cacheFlags
 	cf.register(fs)
+	var xf collectivesFlags
+	xf.register(fs)
 	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	if err := xf.apply(); err != nil {
 		return err
 	}
 	resultCache, err := cf.open()

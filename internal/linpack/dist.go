@@ -244,8 +244,7 @@ func (w *worker) panelFactor(j0, kb int) {
 		var gRow int
 		if w.cfg.Phantom {
 			// same communication pattern as the real maxloc allreduce
-			w.colG.ReducePhantom(0, 16)
-			w.colG.BcastPhantom(0, 16)
+			w.colG.AllreducePhantom(0, 16)
 			gRow = w.phantomPivot(j)
 		} else {
 			best := []float64{-1, float64(w.n)} // (|v|, row); row sentinel past end

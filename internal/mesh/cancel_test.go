@@ -1,0 +1,66 @@
+package mesh
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// TestRunContextPreCancelled: a cancelled ctx stops the packet simulation
+// at its first check instead of draining the event queue.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := OfferLoadContext(ctx, 8, 8, 10e6, 1e-6, Uniform, 50, 1024, 4e6, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestOfferLoadContextCancelMidRun: cancelling mid-simulation abandons a
+// Delta-scale packet run promptly.
+func TestOfferLoadContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := OfferLoadContext(ctx, 16, 33, 12e6, 1e-6, Uniform, 2000, 1024, 0.8*12e6, 1992)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt teardown", elapsed)
+	}
+}
+
+// TestSaturationWorkloadCancelled: the registry workload threads the
+// sweep engine's per-job ctx into the saturation sweep.
+func TestSaturationWorkloadCancelled(t *testing.T) {
+	w, err := harness.Lookup("mesh/saturation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := w.Run(ctx, harness.Params{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextCompletesUncancelled: RunContext with a live ctx delivers
+// everything and reports the same stats Run would.
+func TestRunContextCompletesUncancelled(t *testing.T) {
+	res, err := OfferLoadContext(context.Background(), 4, 4, 10e6, 1e-6, NearestNeighbor, 10, 512, 2e6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := OfferLoad(4, 4, 10e6, 1e-6, NearestNeighbor, 10, 512, 2e6, 3)
+	if res != plain {
+		t.Fatalf("ctx run %+v != plain run %+v", res, plain)
+	}
+}

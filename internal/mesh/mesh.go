@@ -10,6 +10,7 @@
 package mesh
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -161,6 +162,31 @@ func (n *Network) advance(p *Packet, path []int, idx int) {
 // Run simulates until every injected packet is delivered.
 func (n *Network) Run() {
 	n.kern.Run()
+}
+
+// RunContext is Run with cancellation: the event loop checks ctx every
+// ctxCheckEvery events (a packet-hop is one event, so the check costs a
+// fraction of a percent while still cancelling within microseconds of
+// host time), returning ctx.Err() when cancelled — the same ctx-threading
+// contract the linpack kernels follow (nx.Config.Ctx). A cancelled
+// network is torn mid-flight; Stats would panic on undelivered packets,
+// so callers must stop at the error.
+func (n *Network) RunContext(ctx context.Context) error {
+	const ctxCheckEvery = 1024
+	i := 0
+	for n.kern.Step() {
+		i++
+		if i >= ctxCheckEvery {
+			i = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	// The queue drained: the simulation completed, so a cancellation
+	// racing the last event does not discard the finished result (the
+	// same contract as nren's Sim.RunContext).
+	return nil
 }
 
 // Stats summarizes delivered packets.

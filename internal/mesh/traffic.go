@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 )
@@ -65,6 +66,19 @@ type LoadResult struct {
 // latency. The experiment is deterministic for a fixed seed.
 func OfferLoad(rows, cols int, linkBps, routerDelay float64,
 	pattern Pattern, packetsPerNode, bytes int, offeredBps float64, seed int64) LoadResult {
+	res, err := OfferLoadContext(context.Background(), rows, cols, linkBps, routerDelay,
+		pattern, packetsPerNode, bytes, offeredBps, seed)
+	if err != nil {
+		// A background context never cancels; any error would be a bug.
+		panic(err)
+	}
+	return res
+}
+
+// OfferLoadContext is OfferLoad with cancellation threaded into the
+// packet simulation (see Network.RunContext).
+func OfferLoadContext(ctx context.Context, rows, cols int, linkBps, routerDelay float64,
+	pattern Pattern, packetsPerNode, bytes int, offeredBps float64, seed int64) (LoadResult, error) {
 	if offeredBps <= 0 {
 		panic("mesh: offered load must be positive")
 	}
@@ -78,7 +92,9 @@ func OfferLoad(rows, cols int, linkBps, routerDelay float64,
 			net.Inject(src, pattern(rng, net, src), bytes, t)
 		}
 	}
-	net.Run()
+	if err := net.RunContext(ctx); err != nil {
+		return LoadResult{}, err
+	}
 	s := net.Stats()
 	res := LoadResult{
 		OfferedBps: offeredBps,
@@ -88,7 +104,7 @@ func OfferLoad(rows, cols int, linkBps, routerDelay float64,
 	if s.Makespan > 0 {
 		res.AcceptedBps = float64(s.TotalBytes) / s.Makespan / float64(net.Nodes())
 	}
-	return res
+	return res, nil
 }
 
 // SaturationSweep measures latency and accepted throughput across a range
@@ -96,13 +112,29 @@ func OfferLoad(rows, cols int, linkBps, routerDelay float64,
 // interconnection-network characterization plot.
 func SaturationSweep(rows, cols int, linkBps, routerDelay float64,
 	pattern Pattern, fractions []float64, packetsPerNode, bytes int, seed int64) []LoadResult {
+	out, err := SaturationSweepContext(context.Background(), rows, cols, linkBps, routerDelay,
+		pattern, fractions, packetsPerNode, bytes, seed)
+	if err != nil {
+		panic(err) // background context never cancels
+	}
+	return out
+}
+
+// SaturationSweepContext is SaturationSweep with cancellation checked at
+// every offered-load point and inside each point's packet simulation.
+func SaturationSweepContext(ctx context.Context, rows, cols int, linkBps, routerDelay float64,
+	pattern Pattern, fractions []float64, packetsPerNode, bytes int, seed int64) ([]LoadResult, error) {
 	out := make([]LoadResult, 0, len(fractions))
 	for _, f := range fractions {
 		if f <= 0 {
 			panic(fmt.Sprintf("mesh: non-positive load fraction %g", f))
 		}
-		out = append(out, OfferLoad(rows, cols, linkBps, routerDelay,
-			pattern, packetsPerNode, bytes, f*linkBps, seed))
+		r, err := OfferLoadContext(ctx, rows, cols, linkBps, routerDelay,
+			pattern, packetsPerNode, bytes, f*linkBps, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
 	}
-	return out
+	return out, nil
 }

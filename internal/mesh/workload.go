@@ -80,7 +80,10 @@ func runSaturation(ctx context.Context, p harness.Params) (harness.Result, error
 
 	net := New(rows, cols, linkBps, routerDelay)
 	fractions := []float64{0.05, 0.1, 0.2, 0.4, 0.6, 0.8}
-	results := SaturationSweep(rows, cols, linkBps, routerDelay, pat, fractions, packets, bytes, seed)
+	results, err := SaturationSweepContext(ctx, rows, cols, linkBps, routerDelay, pat, fractions, packets, bytes, seed)
+	if err != nil {
+		return harness.Result{}, err
+	}
 
 	t := report.NewTable(
 		report.Cellf("%s traffic, %d-byte packets on the %dx%d mesh", p.Value("pattern", "uniform"), bytes, rows, cols),

@@ -1,0 +1,75 @@
+package nren
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/topo"
+)
+
+// TestRunContextPreCancelled: a cancelled ctx stops the fluid simulation
+// before it processes a single epoch.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := New(topo.Consortium())
+	if _, err := s.Transfer(topo.SiteCaltech, topo.SiteJPL, 1e6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWorkloadContextCancelMidRun: cancelling mid-simulation abandons a
+// large Poisson mix promptly instead of draining every flow.
+func TestWorkloadContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, _, err := RunWorkloadContext(ctx, topo.Consortium(), Workload{
+		Sites:       topo.ConsortiumSites(),
+		ArrivalRate: 2000,
+		MeanBytes:   5e7,
+		Flows:       50000,
+		Seed:        7,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt teardown", elapsed)
+	}
+}
+
+// TestTransferMatrixContextCancelled: the per-pair loop honors ctx.
+func TestTransferMatrixContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := TransferMatrixContext(ctx, topo.Consortium(), topo.ConsortiumSites(), 1e7)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestNrenWorkloadsCancelled: the registry workloads thread the sweep
+// engine's per-job ctx into their simulations.
+func TestNrenWorkloadsCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, id := range []string{"nren/transfer-matrix", "nren/storm", "nren/traffic"} {
+		w, err := harness.Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Run(ctx, harness.Params{}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", id, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package nren
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/report"
@@ -35,6 +36,12 @@ func LinkClassTable(refBytes float64) (*report.Table, error) {
 // sites on an otherwise idle network and returns the transfer times in
 // seconds, indexed [from][to] in the order of sites. The diagonal is zero.
 func TransferMatrix(g *topo.Graph, sites []string, bytes float64) ([][]float64, error) {
+	return TransferMatrixContext(context.Background(), g, sites, bytes)
+}
+
+// TransferMatrixContext is TransferMatrix with cancellation checked
+// between pair simulations.
+func TransferMatrixContext(ctx context.Context, g *topo.Graph, sites []string, bytes float64) ([][]float64, error) {
 	out := make([][]float64, len(sites))
 	for i, a := range sites {
 		out[i] = make([]float64, len(sites))
@@ -42,12 +49,15 @@ func TransferMatrix(g *topo.Graph, sites []string, bytes float64) ([][]float64, 
 			if i == j {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			s := New(g)
 			f, err := s.Transfer(a, b, bytes, 0)
 			if err != nil {
 				return nil, fmt.Errorf("%s -> %s: %w", a, b, err)
 			}
-			if err := s.Run(); err != nil {
+			if err := s.RunContext(ctx); err != nil {
 				return nil, err
 			}
 			out[i][j] = f.Duration()

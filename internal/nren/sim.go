@@ -1,6 +1,7 @@
 package nren
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -96,6 +97,15 @@ func (s *Sim) Transfer(src, dst string, bytes, at float64) (*Flow, error) {
 // Run simulates until every flow completes. Rates are recomputed max-min
 // fairly at every flow arrival and departure.
 func (s *Sim) Run() error {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the event loop checks ctx at every
+// arrival/departure epoch (the unit of work between rate recomputations),
+// so a cancelled sweep job stops simulating promptly instead of draining
+// every flow. It returns ctx.Err() when cancelled. This is the same
+// ctx-threading contract the linpack kernels follow (nx.Config.Ctx).
+func (s *Sim) RunContext(ctx context.Context) error {
 	if s.ran {
 		return errors.New("nren: Sim already ran")
 	}
@@ -117,6 +127,9 @@ func (s *Sim) Run() error {
 	}
 
 	for len(pending) > 0 || len(active) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// next arrival and next completion
 		nextArrival := math.Inf(1)
 		if len(pending) > 0 {

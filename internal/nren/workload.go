@@ -1,6 +1,7 @@
 package nren
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 
@@ -31,6 +32,12 @@ type WorkloadStats struct {
 // RunWorkload generates and simulates the workload, returning both the
 // flows and summary statistics. It is deterministic for a fixed seed.
 func RunWorkload(g *topo.Graph, w Workload) ([]*Flow, WorkloadStats, error) {
+	return RunWorkloadContext(context.Background(), g, w)
+}
+
+// RunWorkloadContext is RunWorkload with cancellation threaded into the
+// fluid simulation (see Sim.RunContext).
+func RunWorkloadContext(ctx context.Context, g *topo.Graph, w Workload) ([]*Flow, WorkloadStats, error) {
 	if len(w.Sites) < 2 {
 		return nil, WorkloadStats{}, errors.New("nren: workload needs at least two sites")
 	}
@@ -58,7 +65,7 @@ func RunWorkload(g *topo.Graph, w Workload) ([]*Flow, WorkloadStats, error) {
 		}
 		flows = append(flows, f)
 	}
-	if err := s.Run(); err != nil {
+	if err := s.RunContext(ctx); err != nil {
 		return nil, WorkloadStats{}, err
 	}
 	durations := make([]float64, len(flows))

@@ -84,7 +84,7 @@ func runTransferMatrix(ctx context.Context, p harness.Params) (harness.Result, e
 		topo.SiteCaltech, topo.SiteJPL, topo.SiteSDSC, topo.SiteLANL,
 		topo.SiteRice, topo.SiteDARPA, topo.SiteRegional,
 	}
-	m, err := TransferMatrix(g, sites, bytes)
+	m, err := TransferMatrixContext(ctx, g, sites, bytes)
 	if err != nil {
 		return harness.Result{}, err
 	}
@@ -115,7 +115,7 @@ func runStorm(ctx context.Context, p harness.Params) (harness.Result, error) {
 			}
 		}
 	}
-	if err := s.Run(); err != nil {
+	if err := s.RunContext(ctx); err != nil {
 		return harness.Result{}, err
 	}
 	util := s.Utilization()
@@ -169,7 +169,7 @@ func runTraffic(ctx context.Context, p harness.Params) (harness.Result, error) {
 		seed = 1992
 	}
 	g := topo.Consortium()
-	_, st, err := RunWorkload(g, Workload{
+	_, st, err := RunWorkloadContext(ctx, g, Workload{
 		Sites:       topo.ConsortiumSites(),
 		ArrivalRate: rate,
 		MeanBytes:   meanBytes,

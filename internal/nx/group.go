@@ -21,6 +21,7 @@ type Group struct {
 	me      int // index of p.rank within members
 	base    Tag
 	seq     Tag
+	slot    *groupSlot // fused-collective rendezvous anchor, resolved lazily
 }
 
 // payload is the value a collective moves around: a byte slice, a float
@@ -106,6 +107,12 @@ func (g *Group) Barrier() {
 	if n == 1 {
 		return
 	}
+	if g.p.fused {
+		// Not deferred: Barrier keeps its host-side rendezvous so user
+		// code may rely on it for memory ordering, as on the tree path.
+		g.fusedCollective(fusedBarrier, 0, 0, payload{}, nil, false)
+		return
+	}
 	tag := g.nextTag()
 	for k := 1; k < n; k <<= 1 {
 		to := g.global((g.me + k) % n)
@@ -116,14 +123,19 @@ func (g *Group) Barrier() {
 }
 
 // bcast runs a binomial-tree broadcast of pl from the group-rank root and
-// returns the payload (the root's own on the root).
-func (g *Group) bcast(root int, pl payload) payload {
+// returns the payload (the root's own on the root). phantom marks the
+// payload-free variant, whose fused release may be deferred (no member
+// consumes a result).
+func (g *Group) bcast(root int, pl payload, phantom bool) payload {
 	n := len(g.members)
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("nx: bcast root %d out of range [0,%d)", root, n))
 	}
 	if n == 1 {
 		return pl
+	}
+	if g.p.fused {
+		return g.fusedCollective(fusedBcast, root, pl.bytes, pl, nil, phantom)
 	}
 	tag := g.nextTag()
 	vrank := (g.me - root + n) % n
@@ -154,7 +166,7 @@ func (g *Group) Bcast(root int, data []byte) []byte {
 	if g.me == root {
 		pl = payload{data: append([]byte(nil), data...), bytes: len(data)}
 	}
-	return g.bcast(root, pl).data
+	return g.bcast(root, pl, false).data
 }
 
 // BcastFloats broadcasts xs from the member with group rank root.
@@ -164,7 +176,7 @@ func (g *Group) BcastFloats(root int, xs []float64) []float64 {
 		cp := append([]float64(nil), xs...)
 		pl = payload{floats: cp, bytes: 8 * len(cp)}
 	}
-	return g.bcast(root, pl).floats
+	return g.bcast(root, pl, false).floats
 }
 
 // BcastPhantom broadcasts a payload-free message accounted as nbytes.
@@ -173,7 +185,7 @@ func (g *Group) BcastPhantom(root, nbytes int) {
 	if g.me == root {
 		pl = payload{bytes: nbytes}
 	}
-	g.bcast(root, pl)
+	g.bcast(root, pl, true)
 }
 
 // BcastFlatPhantom models a naive linear broadcast (the root sends to each
@@ -182,6 +194,10 @@ func (g *Group) BcastPhantom(root, nbytes int) {
 func (g *Group) BcastFlatPhantom(root, nbytes int) {
 	n := len(g.members)
 	if n == 1 {
+		return
+	}
+	if g.p.fused {
+		g.fusedCollective(fusedFlatBcast, root, nbytes, payload{}, nil, true)
 		return
 	}
 	tag := g.nextTag()
@@ -239,6 +255,9 @@ func (g *Group) ReduceFloats(root int, xs []float64, op ReduceOp) []float64 {
 	if n == 1 {
 		return acc
 	}
+	if g.p.fused {
+		return g.fusedCollective(fusedReduceFloats, root, 0, payload{floats: acc}, op, false).floats
+	}
 	tag := g.nextTag()
 	vrank := (g.me - root + n) % n
 	mask := 1
@@ -265,6 +284,12 @@ func (g *Group) ReduceFloats(root int, xs []float64, op ReduceOp) []float64 {
 // AllreduceFloats reduces xs across the group and broadcasts the result, so
 // every member returns the reduced slice.
 func (g *Group) AllreduceFloats(xs []float64, op ReduceOp) []float64 {
+	if g.p.fused && len(g.members) > 1 {
+		// One rendezvous replays the reduce tree and the broadcast tree
+		// back to back; the copy mirrors ReduceFloats' accumulator copy.
+		acc := append([]float64(nil), xs...)
+		return g.fusedCollective(fusedAllreduceFloats, 0, 0, payload{floats: acc}, op, false).floats
+	}
 	red := g.ReduceFloats(0, xs, op)
 	return g.BcastFloats(0, red)
 }
@@ -274,6 +299,10 @@ func (g *Group) AllreduceFloats(xs []float64, op ReduceOp) []float64 {
 func (g *Group) ReducePhantom(root, nbytes int) {
 	n := len(g.members)
 	if n == 1 {
+		return
+	}
+	if g.p.fused {
+		g.fusedCollective(fusedReducePhantom, root, nbytes, payload{}, nil, true)
 		return
 	}
 	tag := g.nextTag()
@@ -291,6 +320,21 @@ func (g *Group) ReducePhantom(root, nbytes int) {
 		}
 		mask <<= 1
 	}
+}
+
+// AllreducePhantom models ReducePhantom immediately followed by
+// BcastPhantom from the same root — the pivot-exchange pattern of the
+// distributed LU factorization. The tree path is exactly that pair of
+// collectives; the fused path computes both trees in a single rendezvous,
+// halving the synchronizations of the hottest collective sequence while
+// producing bit-identical virtual times.
+func (g *Group) AllreducePhantom(root, nbytes int) {
+	if g.p.fused && len(g.members) > 1 {
+		g.fusedCollective(fusedAllreducePhantom, root, nbytes, payload{}, nil, true)
+		return
+	}
+	g.ReducePhantom(root, nbytes)
+	g.BcastPhantom(root, nbytes)
 }
 
 // MaxLoc returns the maximum of v across the group and the group rank that
@@ -318,6 +362,14 @@ func (g *Group) GatherFloats(root int, xs []float64) []float64 {
 	n := len(g.members)
 	if root < 0 || root >= n {
 		panic(fmt.Sprintf("nx: gather root %d out of range [0,%d)", root, n))
+	}
+	if g.p.fused {
+		pl := payload{floats: xs}
+		if g.me != root {
+			// The tree path copies at send time; keep the same ownership.
+			pl = payload{floats: append([]float64(nil), xs...)}
+		}
+		return g.fusedCollective(fusedGather, root, 0, pl, nil, false).floats
 	}
 	tag := g.nextTag()
 	if g.me != root {

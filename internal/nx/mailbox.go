@@ -47,11 +47,18 @@ type mailbox struct {
 	// Watchdog counters, sharded per process so the hot path never
 	// contends on a shared cache line. sent counts messages sent *by*
 	// this mailbox's owner (updated only from the owner goroutine);
-	// blocked is 1 while the owner is parked in a receive. The deadlock
-	// watchdog sums both across all processes.
+	// blocked is blockedRecv while the owner is parked in a receive and
+	// blockedFused while it is parked in a fused-collective rendezvous
+	// (fused.go). The deadlock watchdog reads both across all processes.
 	sent    atomic.Uint64
 	blocked atomic.Int32
 }
+
+// blocked states (mailbox.blocked).
+const (
+	blockedRecv  = 1 // parked in mailbox.get
+	blockedFused = 2 // parked in a fused-collective rendezvous
+)
 
 func (m *mailbox) init() {
 	m.cond = sync.NewCond(&m.mu)
@@ -121,7 +128,7 @@ func (m *mailbox) get(src int, tag Tag) Msg {
 			}
 		}
 		m.waiting, m.wantSrc, m.wantTag = true, src, tag
-		m.blocked.Store(1)
+		m.blocked.Store(blockedRecv)
 		m.cond.Wait()
 		m.blocked.Store(0)
 		m.waiting = false

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/machine"
@@ -64,6 +65,10 @@ type Config struct {
 	// instead of a result. A nil Ctx preserves the classic
 	// run-to-completion behavior.
 	Ctx context.Context
+	// Collectives selects how Group collectives execute: fused analytic
+	// rendezvous (the default) or the legacy per-edge tree messages.
+	// Both produce bit-identical virtual times and stats; see fused.go.
+	Collectives CollectiveMode
 }
 
 // ProcStats summarizes one process after a run.
@@ -155,13 +160,22 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 		quiesce = 2 * time.Second
 	}
 
-	rt := &runtime{procs: make([]*Proc, n)}
+	mode := cfg.Collectives
+	if mode == CollectivesAuto {
+		mode = DefaultCollectives()
+	}
+	rt := &runtime{
+		procs:   make([]*Proc, n),
+		traceOn: cfg.Trace != nil,
+	}
 	for i := 0; i < n; i++ {
 		p := &Proc{
-			rank:  i,
-			size:  n,
-			model: cfg.Model,
-			rt:    rt,
+			rank:   i,
+			size:   n,
+			model:  cfg.Model,
+			rt:     rt,
+			fused:  mode == CollectivesFused,
+			wakeCh: make(chan struct{}, 1),
 		}
 		p.initCaches()
 		p.mbox.init()
@@ -187,6 +201,9 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 				}
 			}()
 			body(p)
+			// Apply any deferred collective releases so the final clock
+			// and stats reflect every operation the body performed.
+			p.settle()
 		}(p)
 	}
 
@@ -276,14 +293,29 @@ func Run(cfg Config, body func(p *Proc)) (*Result, error) {
 
 // runtime is the shared state of one Run invocation.
 type runtime struct {
-	procs []*Proc
+	procs   []*Proc
+	traceOn bool // cfg.Trace was set; fused releases carry trace spans
+
+	// fmu guards the whole fused-collective engine: the slot map and
+	// every slot's and rendezvous' state (see groupSlot). slotsAborted
+	// poisons fused waits once the run tears down. cascade is the pooled
+	// completion worklist and wake the procs to signal after the current
+	// fmu section drops (both only touched under fmu).
+	fmu          sync.Mutex
+	slots        map[string]*groupSlot
+	slotsAborted atomic.Bool
+	cascade      []*rendezvous
+	wake         []*Proc
 }
 
 // counters aggregates the per-process watchdog shards: how many processes
-// are blocked in a receive right now, and the total messages sent so far.
+// are blocked (in a receive or a fused-collective rendezvous) right now,
+// and the total messages sent so far.
 func (rt *runtime) counters() (blocked int, puts uint64) {
 	for _, p := range rt.procs {
-		blocked += int(p.mbox.blocked.Load())
+		if p.mbox.blocked.Load() != 0 {
+			blocked++
+		}
 		puts += p.mbox.sent.Load()
 	}
 	return blocked, puts
@@ -293,11 +325,16 @@ func (rt *runtime) abort() {
 	for _, p := range rt.procs {
 		p.mbox.abort()
 	}
+	rt.abortSlots()
 }
 
 func (rt *runtime) waiters() []string {
 	var out []string
 	for _, p := range rt.procs {
+		if p.mbox.blocked.Load() == blockedFused {
+			out = append(out, fmt.Sprintf("rank %d waiting in a fused collective (another member never entered it)", p.rank))
+			continue
+		}
 		if w := p.mbox.waitingFor(); w != "" {
 			out = append(out, fmt.Sprintf("rank %d waiting for %s", p.rank, w))
 		}

@@ -19,6 +19,22 @@ type Proc struct {
 	rt    *runtime
 	stats ProcStats
 	tview *trace.ProcView
+	fused bool // run-wide collective mode (see Config.Collectives)
+
+	// Deferred-settlement state (fused mode; owner-goroutine only except
+	// where noted). pend is the chain of rendezvous whose releases this
+	// process has not yet applied; while it is non-empty the clock is
+	// stale and local advances accumulate in deltaBuf (deltaBuf[deltaLo:]
+	// are the advances since the last entry was posted). deltaBuf entries
+	// up to deltaLo are read by resolvers on other goroutines; the owner
+	// only appends, and resets only after every reader is done (settle).
+	pend     []pendRef
+	deltaBuf []float64
+	deltaLo  int
+	// wakeCh is this process's private settle wakeup (capacity 1): fused
+	// completions and run teardown signal it, so woken settlers never
+	// re-acquire the engine lock.
+	wakeCh chan struct{}
 
 	// Hot-path caches derived from model at construction. Method calls on
 	// machine.Model copy the whole struct (~100 bytes) per call, which at
@@ -78,8 +94,15 @@ func (p *Proc) Size() int { return p.size }
 // Model returns the machine model of the run.
 func (p *Proc) Model() machine.Model { return p.model }
 
-// Now returns the process's current virtual time in seconds.
-func (p *Proc) Now() float64 { return p.clock.Now() }
+// Now returns the process's current virtual time in seconds. It settles
+// any deferred collective releases first, so the value reflects every
+// operation the process has performed.
+func (p *Proc) Now() float64 {
+	if len(p.pend) > 0 {
+		p.settle()
+	}
+	return p.clock.Now()
+}
 
 // Compute charges flops floating-point operations of the given class to the
 // local clock through the machine model. Non-positive charges are exact
@@ -90,6 +113,16 @@ func (p *Proc) Compute(op machine.Op, flops float64) {
 		return
 	}
 	d := p.computeTime(op, flops)
+	if len(p.pend) > 0 {
+		// Deferred settlement: the clock is symbolic until the pending
+		// collective releases resolve, so record the advance for the
+		// resolver to replay in order. Tracing disables deferral
+		// (lazyOK), so no span is lost here.
+		p.deltaBuf = append(p.deltaBuf, d)
+		p.stats.Flops += flops
+		p.stats.ComputeTime += d
+		return
+	}
 	start := p.clock.Now()
 	p.clock.Advance(d)
 	p.stats.Flops += flops
@@ -100,6 +133,13 @@ func (p *Proc) Compute(op machine.Op, flops float64) {
 // Elapse advances the local clock by a fixed duration (non-flop work such as
 // memory movement or I/O). Negative durations are ignored.
 func (p *Proc) Elapse(seconds float64) {
+	if len(p.pend) > 0 {
+		p.deltaBuf = append(p.deltaBuf, seconds)
+		if seconds > 0 {
+			p.stats.ComputeTime += seconds
+		}
+		return
+	}
 	start := p.clock.Now()
 	p.clock.Advance(seconds)
 	if seconds > 0 {
@@ -135,6 +175,9 @@ func (p *Proc) checkTag(tag Tag, wildcardOK bool) {
 // point-to-point total matches machine.PointToPointTime.
 func (p *Proc) sendRaw(dst int, tag Tag, data []byte, floats []float64, nbytes int) {
 	p.checkDst(dst)
+	if len(p.pend) > 0 {
+		p.settle() // the message timestamp needs the concrete clock
+	}
 	start := p.clock.Now()
 	p.clock.Advance(p.model.Net.SendOverhead + float64(nbytes)*p.model.Net.ByteTime)
 	arrive := p.clock.Now() + p.model.Net.Latency +
@@ -179,6 +222,9 @@ func (p *Proc) SendPhantom(dst int, tag Tag, nbytes int) {
 func (p *Proc) recvRaw(src int, tag Tag) Msg {
 	if src != AnySrc && (src < 0 || src >= p.size) {
 		panic(fmt.Sprintf("nx: rank %d receiving from invalid rank %d", p.rank, src))
+	}
+	if len(p.pend) > 0 {
+		p.settle() // merging the arrival needs the concrete clock
 	}
 	start := p.clock.Now()
 	msg := p.mbox.get(src, tag)
