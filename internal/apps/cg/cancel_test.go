@@ -1,0 +1,28 @@
+package cg
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// TestSolveDistributedCtxCancelStopsSolve: a cancelled Config.Ctx abandons the
+// phantom simulation mid-flight instead of running to completion.
+func TestSolveDistributedCtxCancelStopsSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := SolveDistributed(Config{N: 2048, MaxIters: 100000, Procs: 512, Model: machine.Delta(), Phantom: true, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt teardown", elapsed)
+	}
+}

@@ -8,6 +8,7 @@
 package cg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -106,6 +107,14 @@ type Config struct {
 	Procs    int
 	Model    machine.Model
 	Phantom  bool // fixed MaxIters iterations, no numerics
+	// Ctx, if non-nil, cancels the run: the simulation tears down at the
+	// next collective boundary and the run returns Ctx.Err() instead of
+	// an outcome. A nil Ctx preserves run-to-completion behavior.
+	Ctx context.Context
+	// Shards partitions the simulation's collective engine across host
+	// cores (nx.Config.Shards); 0 uses the process-wide -sim-shards
+	// default. Results are bit-identical for every value.
+	Shards int
 }
 
 // Outcome reports a distributed solve.
@@ -158,7 +167,7 @@ func SolveDistributed(cfg Config) (*Outcome, error) {
 	var outRes float64
 	var outIters int
 	times := make([]float64, p)
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Ctx: cfg.Ctx, Shards: cfg.Shards}, func(proc *nx.Proc) {
 		n := cfg.N
 		rank := proc.Rank()
 		r0, rows := rowsFor(n, p, rank)

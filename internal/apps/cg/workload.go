@@ -44,7 +44,7 @@ func runWorkload(ctx context.Context, p harness.Params) (harness.Result, error) 
 		return harness.Result{}, err
 	}
 	out, err := SolveDistributed(Config{
-		N: n, MaxIters: iters, Procs: procs, Model: machine.Delta(), Phantom: true,
+		N: n, MaxIters: iters, Procs: procs, Model: machine.Delta(), Phantom: true, Ctx: ctx,
 	})
 	if err != nil {
 		return harness.Result{}, err

@@ -1,0 +1,21 @@
+package ep
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestDistributedCtxCancelled: the phantom EP run is a single collective,
+// so the cancellation check at entry is the observable path — a done Ctx
+// must surface as context.Canceled, not as a result.
+func TestDistributedCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Distributed(Config{N: 1 << 20, Procs: 512, Model: machine.Delta(), Phantom: true, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

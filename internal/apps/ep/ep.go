@@ -8,6 +8,7 @@
 package ep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -107,6 +108,14 @@ type Config struct {
 	Procs   int
 	Model   machine.Model
 	Phantom bool
+	// Ctx, if non-nil, cancels the run: the simulation tears down at the
+	// next collective boundary and the run returns Ctx.Err() instead of
+	// an outcome. A nil Ctx preserves run-to-completion behavior.
+	Ctx context.Context
+	// Shards partitions the simulation's collective engine across host
+	// cores (nx.Config.Shards); 0 uses the process-wide -sim-shards
+	// default. Results are bit-identical for every value.
+	Shards int
 }
 
 // Outcome reports a distributed run.
@@ -133,7 +142,7 @@ func Distributed(cfg Config) (*Outcome, error) {
 
 	var final *Result
 	times := make([]float64, p)
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Ctx: cfg.Ctx, Shards: cfg.Shards}, func(proc *nx.Proc) {
 		rank := uint64(proc.Rank())
 		per := cfg.N / uint64(p)
 		lo := rank * per

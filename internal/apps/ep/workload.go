@@ -39,7 +39,7 @@ func runWorkload(ctx context.Context, p harness.Params) (harness.Result, error) 
 		return harness.Result{}, err
 	}
 	out, err := Distributed(Config{
-		N: uint64(n), Procs: procs, Model: machine.Delta(), Phantom: true,
+		N: uint64(n), Procs: procs, Model: machine.Delta(), Phantom: true, Ctx: ctx,
 	})
 	if err != nil {
 		return harness.Result{}, err

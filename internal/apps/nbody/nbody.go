@@ -6,6 +6,7 @@
 package nbody
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -103,6 +104,14 @@ type Config struct {
 	Seed    int64
 	Model   machine.Model
 	Phantom bool
+	// Ctx, if non-nil, cancels the run: the simulation tears down at the
+	// next collective boundary and the run returns Ctx.Err() instead of
+	// an outcome. A nil Ctx preserves run-to-completion behavior.
+	Ctx context.Context
+	// Shards partitions the simulation's collective engine across host
+	// cores (nx.Config.Shards); 0 uses the process-wide -sim-shards
+	// default. Results are bit-identical for every value.
+	Shards int
 }
 
 // Outcome reports a distributed run.
@@ -148,7 +157,7 @@ func RingForces(cfg Config) (*Outcome, error) {
 
 	var outFX, outFY, outFZ []float64
 	times := make([]float64, p)
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Ctx: cfg.Ctx, Shards: cfg.Shards}, func(proc *nx.Proc) {
 		rank := proc.Rank()
 		start, count := chunk(cfg.N, p, rank)
 		next := (rank + 1) % p

@@ -42,7 +42,7 @@ func runWorkload(ctx context.Context, p harness.Params) (harness.Result, error) 
 		seed = 1992
 	}
 	out, err := RingForces(Config{
-		N: n, Procs: procs, Seed: seed, Model: machine.Delta(), Phantom: true,
+		N: n, Procs: procs, Seed: seed, Model: machine.Delta(), Phantom: true, Ctx: ctx,
 	})
 	if err != nil {
 		return harness.Result{}, err

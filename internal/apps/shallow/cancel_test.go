@@ -1,0 +1,28 @@
+package shallow
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+)
+
+// TestRunDistributedCtxCancelStopsSteps: a cancelled Config.Ctx abandons the
+// phantom simulation mid-flight instead of running to completion.
+func TestRunDistributedCtxCancelStopsSteps(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := RunDistributed(Config{NX: 1024, NY: 1024, Steps: 100000, Procs: 512, Params: DefaultParams(), Model: machine.Delta(), Phantom: true, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v, want prompt teardown", elapsed)
+	}
+}

@@ -45,7 +45,7 @@ func runWorkload(ctx context.Context, p harness.Params) (harness.Result, error) 
 	}
 	out, err := RunDistributed(Config{
 		NX: n, NY: n, Steps: steps, Procs: procs,
-		Params: DefaultParams(), Model: machine.Delta(), Phantom: true,
+		Params: DefaultParams(), Model: machine.Delta(), Phantom: true, Ctx: ctx,
 	})
 	if err != nil {
 		return harness.Result{}, err

@@ -6,6 +6,7 @@
 package stencil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -55,6 +56,14 @@ type Config struct {
 	Procs   int // row-decomposition factor; 0 means all model nodes
 	Model   machine.Model
 	Phantom bool
+	// Ctx, if non-nil, cancels the run: the simulation tears down at the
+	// next collective boundary and the run returns Ctx.Err() instead of
+	// an outcome. A nil Ctx preserves run-to-completion behavior.
+	Ctx context.Context
+	// Shards partitions the simulation's collective engine across host
+	// cores (nx.Config.Shards); 0 uses the process-wide -sim-shards
+	// default. Results are bit-identical for every value.
+	Shards int
 }
 
 // Outcome reports a distributed run.
@@ -105,7 +114,7 @@ func RunDistributed(cfg Config) (*Outcome, error) {
 
 	var final []float64
 	times := make([]float64, p)
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Ctx: cfg.Ctx, Shards: cfg.Shards}, func(proc *nx.Proc) {
 		rank := proc.Rank()
 		rowStart, myRows := rowsFor(cfg.NY, p, rank)
 		w := cfg.NX + 2

@@ -1,6 +1,7 @@
 package stencil
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -30,6 +31,14 @@ type Config2D struct {
 	PR, PC  int // process grid
 	Model   machine.Model
 	Phantom bool
+	// Ctx, if non-nil, cancels the run: the simulation tears down at the
+	// next collective boundary and the run returns Ctx.Err() instead of
+	// an outcome. A nil Ctx preserves run-to-completion behavior.
+	Ctx context.Context
+	// Shards partitions the simulation's collective engine across host
+	// cores (nx.Config.Shards); 0 uses the process-wide -sim-shards
+	// default. Results are bit-identical for every value.
+	Shards int
 }
 
 // RunDistributed2D executes the Jacobi solver with a 2D block
@@ -53,7 +62,7 @@ func RunDistributed2D(cfg Config2D) (*Outcome, error) {
 
 	var final []float64
 	times := make([]float64, p)
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Ctx: cfg.Ctx, Shards: cfg.Shards}, func(proc *nx.Proc) {
 		rank := proc.Rank()
 		pr, pc := rank/cfg.PC, rank%cfg.PC
 		rowStart, myRows := rowsFor(cfg.NY, cfg.PR, pr)

@@ -51,7 +51,7 @@ func runWorkload(ctx context.Context, p harness.Params) (harness.Result, error) 
 	}
 	out, err := RunDistributed2D(Config2D{
 		NX: n, NY: n, Iters: iters, PR: pr, PC: pc,
-		Model: machine.Delta(), Phantom: true,
+		Model: machine.Delta(), Phantom: true, Ctx: ctx,
 	})
 	if err != nil {
 		return harness.Result{}, err

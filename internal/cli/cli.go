@@ -50,6 +50,7 @@ import (
 	_ "repro/internal/core"
 	_ "repro/internal/linpack"
 	_ "repro/internal/mesh"
+	_ "repro/internal/micro"
 	_ "repro/internal/nren"
 )
 

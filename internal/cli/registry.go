@@ -80,6 +80,8 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	cf.register(fs)
 	var xf collectivesFlags
 	xf.register(fs)
+	var ssf simShardsFlags
+	ssf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
@@ -87,6 +89,9 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return err
 	}
 	if err := xf.apply(); err != nil {
+		return err
+	}
+	if err := ssf.apply(); err != nil {
 		return err
 	}
 	resultCache, err := cf.open()
@@ -236,6 +241,8 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	cf.register(fs)
 	var xf collectivesFlags
 	xf.register(fs)
+	var ssf simShardsFlags
+	ssf.register(fs)
 	// Accept both "run <id> [flags]" and "run [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
@@ -245,6 +252,9 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		return err
 	}
 	if err := xf.apply(); err != nil {
+		return err
+	}
+	if err := ssf.apply(); err != nil {
 		return err
 	}
 	resultCache, err := cf.open()
@@ -293,6 +303,8 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	cf.register(fs)
 	var xf collectivesFlags
 	xf.register(fs)
+	var ssf simShardsFlags
+	ssf.register(fs)
 	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
@@ -302,6 +314,9 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return err
 	}
 	if err := xf.apply(); err != nil {
+		return err
+	}
+	if err := ssf.apply(); err != nil {
 		return err
 	}
 	resultCache, err := cf.open()

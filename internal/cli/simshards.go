@@ -1,0 +1,44 @@
+package cli
+
+// Single-simulation sharding wiring: the -sim-shards flag shared by run,
+// sweep and report. It partitions the collective engine of every nx
+// simulation this process starts across that many host cores (distinct
+// from -shards, which fans whole jobs out to worker processes). Output
+// is byte-identical for every value (CI-gated); the flag exists to put
+// multi-core hosts to work on one big simulation.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/nx"
+)
+
+// simShardsEnv propagates the choice to `hpcc worker` child processes,
+// which are re-exec'ed without flags (see nx's init).
+const simShardsEnv = "HPCC_SIM_SHARDS"
+
+// simShardsFlags carries the -sim-shards flag.
+type simShardsFlags struct {
+	n int
+}
+
+func (sf *simShardsFlags) register(fs *flag.FlagSet) {
+	fs.IntVar(&sf.n, "sim-shards", 0, "split each simulation's engine across N host cores (0 = default 1; output is byte-identical for any value)")
+}
+
+// apply validates the flag and installs the count process-wide (including
+// the environment, so -shards worker children inherit it). A zero flag
+// leaves the default alone.
+func (sf *simShardsFlags) apply() error {
+	if sf.n == 0 {
+		return nil
+	}
+	if sf.n < 1 {
+		return fmt.Errorf("-sim-shards %d: want >= 1", sf.n)
+	}
+	nx.SetDefaultShards(sf.n)
+	return os.Setenv(simShardsEnv, strconv.Itoa(sf.n))
+}

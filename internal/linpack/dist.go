@@ -37,6 +37,10 @@ type Config struct {
 	// engine's per-job context arrives here through the registry
 	// workloads, so a cancelled sweep stops simulating promptly.
 	Ctx context.Context
+	// Shards partitions the simulation's collective engine across host
+	// cores (nx.Config.Shards); 0 uses the process-wide -sim-shards
+	// default. Results are bit-identical for every value.
+	Shards int
 }
 
 // Outcome reports a completed run.
@@ -79,7 +83,7 @@ func Run(cfg Config) (*Outcome, error) {
 	var keptLU []float64
 	var keptPiv []int
 
-	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Trace: cfg.Trace, Ctx: cfg.Ctx}, func(proc *nx.Proc) {
+	res, err := nx.Run(nx.Config{Model: cfg.Model, Procs: p, Trace: cfg.Trace, Ctx: cfg.Ctx, Shards: cfg.Shards}, func(proc *nx.Proc) {
 		w := newWorker(proc, cfg)
 		w.factor()
 		// synchronize and record the timed region before verification
@@ -400,6 +404,10 @@ func (w *worker) applyTrailingSwaps(j0, kb, colOwner int) {
 	// row owning row j is the same for every jj — hoist it out of the
 	// inner loop (this loop runs P x N times per factorization).
 	ownerJ := Owner(j0, w.nb, w.gr)
+	if w.cfg.Phantom {
+		w.applyTrailingSwapsPhantom(j0, kb, ownerJ, width)
+		return
+	}
 	for jj := 0; jj < kb; jj++ {
 		j := j0 + jj
 		gRow := w.ipiv[j]
@@ -412,12 +420,10 @@ func (w *worker) applyTrailingSwaps(j0, kb, colOwner int) {
 		}
 		if ownerJ == ownerG {
 			w.p.Compute(machine.OpVector, float64(width))
-			if !w.cfg.Phantom {
-				lrJ := GlobalToLocal(j, w.nb, w.gr)
-				lrG := GlobalToLocal(gRow, w.nb, w.gr)
-				for _, s := range segs {
-					blas.Dswap(s[1]-s[0], w.a[lrJ+s[0]*w.mloc:], w.mloc, w.a[lrG+s[0]*w.mloc:], w.mloc)
-				}
+			lrJ := GlobalToLocal(j, w.nb, w.gr)
+			lrG := GlobalToLocal(gRow, w.nb, w.gr)
+			for _, s := range segs {
+				blas.Dswap(s[1]-s[0], w.a[lrJ+s[0]*w.mloc:], w.mloc, w.a[lrG+s[0]*w.mloc:], w.mloc)
 			}
 			continue
 		}
@@ -426,11 +432,6 @@ func (w *worker) applyTrailingSwaps(j0, kb, colOwner int) {
 			myRow, peerOwner = gRow, ownerJ
 		}
 		peer := w.rank(peerOwner, w.pc)
-		if w.cfg.Phantom {
-			w.p.SendPhantom(peer, tagSwapTrail, 8*width)
-			w.p.Recv(peer, tagSwapTrail)
-			continue
-		}
 		lr := GlobalToLocal(myRow, w.nb, w.gr)
 		mine := make([]float64, 0, width)
 		for _, s := range segs {
@@ -447,6 +448,60 @@ func (w *worker) applyTrailingSwaps(j0, kb, colOwner int) {
 				i++
 			}
 		}
+	}
+}
+
+// applyTrailingSwapsPhantom is the phantom-mode wavefront: the kb row
+// interchanges move no data, so maximal runs of consecutive swaps against
+// one peer grid row batch into a single ExchangeBatchPhantom — one
+// deferred rendezvous instead of 2·cnt mailbox operations, each of which
+// would also force the deferred-settlement chain to settle.
+//
+// Run boundaries must be derived identically by both members of every
+// exchange pair. Pairs always share a process column, and a process
+// column's ipiv view is consistent down the column (the owning column
+// computes real pivots; the others all see the zeros BcastPhantom leaves
+// behind), so a shared scan of ipiv suffices: skips (gRow == j) do
+// nothing on any process and are transparent; a swap local to the owning
+// row advances that row's clock, so it ends the run; a swap against a
+// different peer row starts a new run. Batching a run is exact because
+// its exchanges are back-to-back in every participant's program.
+func (w *worker) applyTrailingSwapsPhantom(j0, kb, ownerJ, width int) {
+	for jj := 0; jj < kb; {
+		j := j0 + jj
+		gRow := w.ipiv[j]
+		if gRow == j {
+			jj++
+			continue
+		}
+		ownerG := Owner(gRow, w.nb, w.gr)
+		if ownerG == ownerJ {
+			if w.pr == ownerJ {
+				w.p.Compute(machine.OpVector, float64(width))
+			}
+			jj++
+			continue
+		}
+		cnt := 1
+		for jj++; jj < kb; jj++ {
+			jn := j0 + jj
+			gn := w.ipiv[jn]
+			if gn == jn {
+				continue
+			}
+			if Owner(gn, w.nb, w.gr) != ownerG {
+				break
+			}
+			cnt++
+		}
+		if w.pr != ownerJ && w.pr != ownerG {
+			continue
+		}
+		peerOwner := ownerG
+		if w.pr == ownerG {
+			peerOwner = ownerJ
+		}
+		w.p.ExchangeBatchPhantom(w.rank(peerOwner, w.pc), tagSwapTrail, 8*width, cnt)
 	}
 }
 

@@ -30,8 +30,9 @@ package nx
 //     (previous release ⊕ recorded local advances) and keeps running —
 //     through more phantom collectives if the program offers them. A
 //     member parks only when it needs a concrete clock (a point-to-point
-//     message, Now, a data-carrying collective, Barrier) or after maxPend
-//     outstanding releases. Rendezvous resolve in dependency order
+//     message, Now, a data-carrying collective, Barrier) or after
+//     pendLimit outstanding releases (adaptive in the process count; see
+//     adaptivePendLimit). Rendezvous resolve in dependency order
 //     through the completion cascade (fusedCascade), so host-side parks
 //     collapse from one per collective edge to roughly one per chain.
 //   - Pooled, wake-through-channel plumbing. Rendezvous, their scratch
@@ -153,6 +154,10 @@ const (
 	// exchange) pays one synchronization instead of two.
 	fusedAllreduceFloats
 	fusedAllreducePhantom
+	// fusedExchange replays a batch of identical symmetric pairwise
+	// phantom exchanges (send+recv with one peer, repeated entry.count
+	// times) in one rendezvous; see Proc.ExchangeBatchPhantom.
+	fusedExchange
 )
 
 func (k fusedKind) String() string {
@@ -173,6 +178,8 @@ func (k fusedKind) String() string {
 		return "AllreduceFloats"
 	case fusedAllreducePhantom:
 		return "AllreducePhantom"
+	case fusedExchange:
+		return "ExchangeBatch"
 	}
 	return fmt.Sprintf("fusedKind(%d)", int(k))
 }
@@ -202,6 +209,7 @@ type fusedEntry struct {
 	kind     fusedKind
 	root     int
 	nbytes   int
+	count    int // fusedExchange: exchanges in the batch
 	clock    float64
 	recvWait float64
 	pl       payload
@@ -239,12 +247,17 @@ type traceSpan struct {
 // collective number baseSeq+i. Completed-and-settled rendezvous are
 // recycled through free, so steady-state collectives allocate nothing.
 //
-// All slot and rendezvous state is guarded by one runtime-wide mutex
-// (runtime.fmu). The engine's critical sections are tens of nanoseconds,
-// so one lock acquisition per posting beats fine-grained per-slot locks —
+// All slot and rendezvous state is guarded by the mutex of the slot's
+// home engine shard (groupSlot.home, see shard.go): the shard homing
+// every member when the list is intra-shard, the runtime's cross engine
+// otherwise. The engine's critical sections are tens of nanoseconds, so
+// one lock acquisition per posting beats fine-grained per-slot locks —
 // with per-slot locks every symbolic entry pays a second acquisition to
 // register with its dependency and a third to resolve, which profiling
-// shows costs more than the serialization a global lock introduces.
+// shows costs more than the serialization a shard-wide lock introduces.
+// Cross-engine dependencies (an entry whose prev rendezvous lives on a
+// different engine) use a hand-off protocol that never holds two engine
+// locks at once; see fusedPost, registerCrossDep and drainCross.
 //
 // Sequencing is sound because a member's posts on a slot are numbered by
 // the slot's per-member count and program order ties those numbers
@@ -256,6 +269,7 @@ type traceSpan struct {
 // detects the resulting double entry and panics instead of corrupting
 // clocks.)
 type groupSlot struct {
+	home    *engineShard // the engine instance whose mu guards this slot
 	ring    []*rendezvous
 	baseSeq int
 	counts  []int // per-member posts so far; a post's number is its member's count
@@ -265,8 +279,8 @@ type groupSlot struct {
 
 // rendezvous collects the entries of one collective and, once complete,
 // the per-member releases. The slices and the engine's scratch are pooled
-// across the collectives of a slot. All fields are guarded by
-// runtime.fmu.
+// across the collectives of a slot. All fields are guarded by the slot's
+// home engine mutex (slot.home.mu).
 type rendezvous struct {
 	slot       *groupSlot
 	entries    []fusedEntry
@@ -274,14 +288,16 @@ type rendezvous struct {
 	arrived    int
 	unresolved int // entries still symbolic (their prev not done)
 	// done and settled are atomic so the settle fast path (tail already
-	// complete) runs without the engine lock: done is written under fmu
-	// but read lock-free, and rels are immutable once done is observed.
+	// complete) runs without the engine lock: done is written under the
+	// home lock but read lock-free, and rels are immutable once done is
+	// observed — which also lets cross-engine resolvers read a completed
+	// rendezvous' releases without touching its home lock.
 	done    atomic.Bool
-	retired bool // fully settled; awaiting head-order recycling (under fmu)
+	retired bool // fully settled; awaiting head-order recycling (under home lock)
 	settled atomic.Int32
 	rels    []fusedRelease
 	deps    []fusedDep // entries elsewhere waiting on this completion
-	waiters []*Proc    // settlers parked for this completion (under fmu)
+	waiters []*Proc    // settlers parked for this completion (under home lock)
 
 	// Engine scratch, sized to the group on first use.
 	arr  []float64   // per-member arrival times
@@ -302,26 +318,23 @@ type pendRef struct {
 	idx int
 }
 
-// maxPend bounds a member's deferred chain: after this many unsettled
-// rendezvous the member settles, which bounds memory (in-flight
-// rendezvous per slot) and cancellation latency without giving back the
-// batching win.
-const maxPend = 64
-
 // slot returns (creating on first use) the rendezvous anchor for a member
-// list, keyed by its packed encoding. members is recorded on the slot at
-// creation (exchange callers replay from it; every caller passes an
-// identical list for a given key).
+// list, keyed by its packed encoding. Slots live in the map of their home
+// engine (the homing shard, or the cross engine for lists spanning
+// shards), so two engines can serve disjoint member lists without sharing
+// a lock. members is recorded on the slot at creation (exchange callers
+// replay from it; every caller passes an identical list for a given key).
 func (rt *runtime) slot(key string, members []int) *groupSlot {
-	rt.fmu.Lock()
-	defer rt.fmu.Unlock()
-	if rt.slots == nil {
-		rt.slots = make(map[string]*groupSlot)
+	es := rt.homeOf(members)
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	if es.slots == nil {
+		es.slots = make(map[string]*groupSlot)
 	}
-	s := rt.slots[key]
+	s := es.slots[key]
 	if s == nil {
-		s = &groupSlot{members: members, counts: make([]int, len(members))}
-		rt.slots[key] = s
+		s = &groupSlot{home: es, members: members, counts: make([]int, len(members))}
+		es.slots[key] = s
 	}
 	return s
 }
@@ -401,7 +414,7 @@ func fusedRendezvous(p *Proc, s *groupSlot, me int, lazy bool, e *fusedEntry) pa
 	r := fusedPost(p, s, me, e)
 	p.pend = append(p.pend, pendRef{r: r, idx: me})
 	p.deltaLo = len(p.deltaBuf)
-	if lazy && len(p.pend) < maxPend {
+	if lazy && len(p.pend) < p.rt.pendLimit {
 		return payload{}
 	}
 	return p.settle()
@@ -413,30 +426,39 @@ func fusedRendezvous(p *Proc, s *groupSlot, me int, lazy bool, e *fusedEntry) pa
 // groups stay aligned exactly as they do on the tree path), resolves or
 // registers the entry's symbolic dependency, and runs the completion
 // cascade when this event makes a rendezvous computable.
+//
+// When the entry's prev rendezvous is homed on a different engine shard,
+// its dependency cannot be registered under this slot's lock — the engine
+// never holds two shard locks at once — so the post marks the entry
+// unresolved, drops the lock, and hands the dependency to
+// registerCrossDep; cascades likewise park deps of foreign rendezvous on
+// p.crossBuf, drained one engine at a time by drainCross.
 func fusedPost(p *Proc, s *groupSlot, me int, e *fusedEntry) *rendezvous {
-	rt := p.rt
+	r, prevCross := fusedPostLocked(p, s, me, e)
+	if prevCross != nil {
+		registerCrossDep(p, prevCross, r, me)
+	}
+	drainCross(p)
+	return r
+}
+
+// fusedPostLocked is fusedPost's critical section under the slot's home
+// lock. A cross-engine dependency is returned (not registered) so the
+// caller can take the other engine's lock after this one drops.
+func fusedPostLocked(p *Proc, s *groupSlot, me int, e *fusedEntry) (r *rendezvous, prevCross *rendezvous) {
+	es := s.home
 	k := len(s.members)
-	rt.fmu.Lock()
-	// The deferred unlock doubles as the waker: completions collected by
+	es.mu.Lock()
+	// The deferred drain doubles as the waker: completions collected by
 	// a cascade are signalled after the lock drops (and even if the
-	// replay panics, so teardown does not deadlock on fmu).
-	defer func() {
-		toWake := rt.wake
-		rt.wake = nil
-		rt.fmu.Unlock()
-		for _, wp := range toWake {
-			select {
-			case wp.wakeCh <- struct{}{}:
-			default:
-			}
-		}
-	}()
+	// replay panics, so teardown does not deadlock on the engine lock).
+	defer drainWake(es)
 	idx := s.counts[me] - s.baseSeq
 	s.counts[me]++
 	for idx >= len(s.ring) {
 		s.ring = append(s.ring, s.takeFree(k))
 	}
-	r := s.ring[idx]
+	r = s.ring[idx]
 	if len(r.entries) != k || r.present[me] {
 		panic(fmt.Sprintf("nx: rank %d: overlapping fused collectives on one member list "+
 			"(distinct same-member groups used concurrently?)", p.rank)) // defer unlocks
@@ -445,23 +467,85 @@ func fusedPost(p *Proc, s *groupSlot, me int, e *fusedEntry) *rendezvous {
 	r.present[me] = true
 	r.arrived++
 	if e.prev != nil {
-		if e.prev.done.Load() {
+		switch {
+		case e.prev.done.Load():
+			// rels are immutable once done is observed, so resolving here
+			// is safe even when prev is homed elsewhere.
 			resolveEntry(r, me)
-		} else {
+		case e.prev.slot.home == es:
 			r.unresolved++
 			e.prev.deps = append(e.prev.deps, fusedDep{r: r, idx: me})
+		default:
+			r.unresolved++
+			prevCross = e.prev
 		}
 	}
 	if r.arrived == k && r.unresolved == 0 {
-		fusedCascade(p, r)
+		fusedCascade(p, es, r)
 	}
-	return r
+	return r, prevCross
+}
+
+// drainWake unlocks es after moving its pending wake list aside, then
+// signals the wakeups outside the lock, so a completion waking many
+// members cannot convoy on the engine lock.
+func drainWake(es *engineShard) {
+	toWake := es.wake
+	es.wake = nil
+	es.mu.Unlock()
+	for _, wp := range toWake {
+		select {
+		case wp.wakeCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// registerCrossDep registers rendezvous r's entry idx (already counted
+// unresolved under r's home lock) with its prev on a different engine.
+// The registration races prev's completion; prev's home lock arbitrates:
+// either the dep lands on prev.deps before prev completes (the completing
+// cascade resolves it), or prev is already done and this poster resolves
+// it itself via the cross buffer. Exactly one side ever owns the dep.
+func registerCrossDep(p *Proc, prev, r *rendezvous, idx int) {
+	ph := prev.slot.home
+	ph.mu.Lock()
+	if !prev.done.Load() {
+		prev.deps = append(prev.deps, fusedDep{r: r, idx: idx})
+		ph.mu.Unlock()
+		return
+	}
+	ph.mu.Unlock()
+	p.crossBuf = append(p.crossBuf, fusedDep{r: r, idx: idx})
+}
+
+// drainCross resolves the cross-engine dependencies parked on p.crossBuf:
+// each dep's prev is done (rels immutable), so the resolution needs only
+// the dep's own home lock. Cascades run while that lock is held and may
+// park further cross deps on the buffer; the loop takes one engine lock
+// at a time, so shards never deadlock on lock order.
+func drainCross(p *Proc) {
+	for len(p.crossBuf) > 0 {
+		n := len(p.crossBuf)
+		d := p.crossBuf[n-1]
+		p.crossBuf = p.crossBuf[:n-1]
+		func() {
+			es := d.r.slot.home
+			es.mu.Lock()
+			defer drainWake(es)
+			resolveEntry(d.r, d.idx)
+			d.r.unresolved--
+			if d.r.arrived == len(d.r.entries) && d.r.unresolved == 0 {
+				fusedCascade(p, es, d.r)
+			}
+		}()
+	}
 }
 
 // takeFree returns a recycled (or fresh) rendezvous sized for k members.
 // Entries are left dirty — every member overwrites its own before the
 // rendezvous can compute — only the presence bits are cleared. Caller
-// holds runtime.fmu.
+// holds the slot's home engine lock.
 func (s *groupSlot) takeFree(k int) *rendezvous {
 	var r *rendezvous
 	if n := len(s.free); n > 0 {
@@ -493,7 +577,8 @@ func (s *groupSlot) takeFree(k int) *rendezvous {
 
 // resolveEntry makes a symbolic entry concrete from its (completed)
 // dependency: the exact advance sequence the member recorded, replayed on
-// the release clock. Caller holds runtime.fmu.
+// the release clock. Caller holds r's home engine lock; prev's releases
+// are readable lock-free because prev is done.
 func resolveEntry(r *rendezvous, i int) {
 	e := &r.entries[i]
 	base := &e.prev.rels[e.prevIdx]
@@ -507,13 +592,16 @@ func resolveEntry(r *rendezvous, i int) {
 	e.deltas = nil
 }
 
-// fusedCascade replays a computable rendezvous and cascades: completing
-// one rendezvous resolves symbolic entries registered on it, which can
-// make further rendezvous computable. The worklist keeps the cascade
-// iterative; the whole cascade runs under runtime.fmu (the replays are
-// pure arithmetic on state the lock already guards).
-func fusedCascade(p *Proc, r *rendezvous) {
-	work := p.rt.cascade[:0]
+// fusedCascade replays a computable rendezvous homed on es and cascades:
+// completing one rendezvous resolves symbolic entries registered on it,
+// which can make further rendezvous computable. The worklist keeps the
+// cascade iterative; the whole cascade runs under es.mu (the replays are
+// pure arithmetic on state the lock already guards). Dependencies of
+// rendezvous homed on other engines cannot be touched under this lock;
+// they are parked on p.crossBuf for drainCross to resolve after es.mu
+// drops.
+func fusedCascade(p *Proc, es *engineShard, r *rendezvous) {
+	work := es.cascade[:0]
 	work = append(work, r)
 	for len(work) > 0 {
 		r := work[len(work)-1]
@@ -521,10 +609,14 @@ func fusedCascade(p *Proc, r *rendezvous) {
 		fusedCompute(p, r)
 		r.done.Store(true)
 		if len(r.waiters) > 0 {
-			p.rt.wake = append(p.rt.wake, r.waiters...)
+			es.wake = append(es.wake, r.waiters...)
 			r.waiters = r.waiters[:0]
 		}
 		for _, d := range r.deps {
+			if d.r.slot.home != es {
+				p.crossBuf = append(p.crossBuf, d)
+				continue
+			}
 			resolveEntry(d.r, d.idx)
 			d.r.unresolved--
 			if d.r.arrived == len(d.r.entries) && d.r.unresolved == 0 {
@@ -533,7 +625,7 @@ func fusedCascade(p *Proc, r *rendezvous) {
 		}
 		r.deps = r.deps[:0]
 	}
-	p.rt.cascade = work
+	es.cascade = work
 }
 
 // settle applies this member's outstanding releases: park until the tail
@@ -551,14 +643,15 @@ func (p *Proc) settle() payload {
 	if !tail.r.done.Load() {
 		// Register for the completion wakeup, then park on the private
 		// channel — woken settlers never touch the engine lock, so a
-		// completion waking many members cannot convoy on fmu. A stale
+		// completion waking many members cannot convoy on it. A stale
 		// token from an earlier wakeup just spins the loop once.
-		rt.fmu.Lock()
+		h := tail.r.slot.home
+		h.mu.Lock()
 		registered := !tail.r.done.Load()
 		if registered {
 			tail.r.waiters = append(tail.r.waiters, p)
 		}
-		rt.fmu.Unlock()
+		h.mu.Unlock()
 		if registered {
 			// The blocked flag keeps the deadlock watchdog honest: a
 			// member parked here counts as blocked exactly like one
@@ -591,10 +684,12 @@ func (p *Proc) settle() payload {
 	out := last.pl
 	clock, recvWait := last.clock, last.recvWait
 
-	// Retire the chain. Only a rendezvous' final settler takes the lock;
-	// recycling is head-driven per slot, so it is indifferent to which
-	// final mark reaches the lock first.
-	locked := false
+	// Retire the chain. Only a rendezvous' final settler takes its home
+	// lock; recycling is head-driven per slot, so it is indifferent to
+	// which final mark reaches the lock first. A chain can span engines
+	// (intra-shard and cross-shard collectives interleaved), so the lock
+	// switches per home — one at a time, never two held together.
+	var locked *engineShard
 	for _, pr := range p.pend {
 		// Read the member count before the settled mark: the mark
 		// releases this member's claim on the rendezvous, after which a
@@ -603,9 +698,12 @@ func (p *Proc) settle() payload {
 		if pr.r.settled.Add(1) != k {
 			continue
 		}
-		if !locked {
-			rt.fmu.Lock()
-			locked = true
+		if h := pr.r.slot.home; locked != h {
+			if locked != nil {
+				locked.mu.Unlock()
+			}
+			h.mu.Lock()
+			locked = h
 		}
 		pr.r.retired = true
 		s := pr.r.slot
@@ -616,8 +714,8 @@ func (p *Proc) settle() payload {
 			s.free = append(s.free, head)
 		}
 	}
-	if locked {
-		rt.fmu.Unlock()
+	if locked != nil {
+		locked.mu.Unlock()
 	}
 
 	p.clock.MergeAtLeast(clock)
@@ -688,6 +786,13 @@ func fusedCompute(p *Proc, r *rendezvous) {
 	case fusedAllreducePhantom:
 		f.reduce(root, false)
 		f.bcastPayload(root, payload{bytes: r.entries[root].nbytes})
+	case fusedExchange:
+		a, b := &entries[0], &entries[1]
+		if a.nbytes != b.nbytes || a.count != b.count {
+			panic(fmt.Sprintf("nx: mismatched exchange batch between ranks %d and %d: %d×%dB vs %d×%dB",
+				members[0], members[1], a.count, a.nbytes, b.count, b.nbytes))
+		}
+		f.exchange(a.nbytes, a.count)
 	default:
 		panic(fmt.Sprintf("nx: unknown fused collective kind %v", kind))
 	}
@@ -899,6 +1004,21 @@ func (f *fusedSim) reduce(root int, floats bool) {
 		if floats {
 			f.r.rels[i].pl = payload{floats: accs[i]}
 		}
+	}
+}
+
+// exchange replays a batch of count symmetric pairwise phantom
+// exchanges: each step is, for both members, SendPhantom to the peer then
+// Recv from the peer — sends of a step replayed before its receives,
+// which is each member's program order and satisfies the cross-member
+// arrival dependency, exactly like one dissemination round of barrier.
+func (f *fusedSim) exchange(nbytes, count int) {
+	arr := f.scratchArr()
+	for s := 0; s < count; s++ {
+		arr[1] = f.send(0, 1, nbytes)
+		arr[0] = f.send(1, 0, nbytes)
+		f.recv(0, arr[0])
+		f.recv(1, arr[1])
 	}
 }
 

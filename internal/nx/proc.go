@@ -35,6 +35,11 @@ type Proc struct {
 	// completions and run teardown signal it, so woken settlers never
 	// re-acquire the engine lock.
 	wakeCh chan struct{}
+	// crossBuf is this goroutine's scratch of cross-engine dependencies
+	// awaiting resolution (see drainCross); exchSlots caches per-peer
+	// exchange rendezvous anchors (see ExchangeBatchPhantom).
+	crossBuf  []fusedDep
+	exchSlots map[int]*groupSlot
 
 	// Hot-path caches derived from model at construction. Method calls on
 	// machine.Model copy the whole struct (~100 bytes) per call, which at
@@ -215,6 +220,62 @@ func (p *Proc) SendPhantom(dst int, tag Tag, nbytes int) {
 		nbytes = 0
 	}
 	p.sendRaw(dst, tag, nil, nil, nbytes)
+}
+
+// ExchangeBatchPhantom performs count back-to-back symmetric phantom
+// exchanges with peer: each exchange is SendPhantom(peer, tag, nbytes)
+// followed by Recv(peer, tag), on both sides. Both processes must call it
+// with the same nbytes and count. Virtual times and stats are
+// bit-identical to writing the loop out by hand; in fused mode the whole
+// batch settles as one deferred rendezvous — one synchronization for k
+// exchanges instead of 2k mailbox operations — which is what makes the
+// LINPACK trailing-swap wavefront cheap (see linpack.applyTrailingSwaps).
+func (p *Proc) ExchangeBatchPhantom(peer int, tag Tag, nbytes, count int) {
+	p.checkTag(tag, false)
+	if count <= 0 {
+		return
+	}
+	if peer == p.rank {
+		panic(fmt.Sprintf("nx: rank %d exchanging with itself", p.rank))
+	}
+	p.checkDst(peer)
+	if nbytes < 0 {
+		nbytes = 0
+	}
+	if !p.fused {
+		for i := 0; i < count; i++ {
+			p.sendRaw(peer, tag, nil, nil, nbytes)
+			p.recvRaw(peer, tag)
+		}
+		return
+	}
+	s := p.exchSlots[peer]
+	if s == nil {
+		// The slot key lives in a separate "x" namespace so an exchange
+		// pair can never collide with a two-member Group's slot (group
+		// keys are always a multiple of 4 bytes long).
+		lo, hi := p.rank, peer
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := string([]byte{'x',
+			byte(lo), byte(lo >> 8), byte(lo >> 16), byte(lo >> 24),
+			byte(hi), byte(hi >> 8), byte(hi >> 16), byte(hi >> 24)})
+		s = p.rt.slot(key, []int{lo, hi})
+		if p.exchSlots == nil {
+			p.exchSlots = make(map[int]*groupSlot)
+		}
+		p.exchSlots[peer] = s
+	}
+	me := 0
+	if p.rank > s.members[0] {
+		me = 1
+	}
+	fusedRendezvous(p, s, me, true, &fusedEntry{
+		kind:   fusedExchange,
+		nbytes: nbytes,
+		count:  count,
+	})
 }
 
 // recvRaw is the common receive path: block for a match, then merge the

@@ -1,0 +1,133 @@
+package nx
+
+// Engine sharding: one simulation spread across host cores.
+//
+// Every process is its own goroutine, so the host scheduler already
+// spreads the *bodies* of a run across cores. What serializes a phantom
+// run on a multi-core host is the fused-collective engine: PR 5's
+// deferred-settlement machinery guards every slot, rendezvous, cascade
+// and wake list with a single runtime-wide mutex, so all 528 Delta
+// processes funnel their collective traffic through one lock (and one
+// set of cache lines).
+//
+// Config.Shards partitions that engine. Processes are split into
+// contiguous rank ranges — the mesh is row-major, so contiguous ranks
+// are whole mesh rows, and the LINPACK grid-row groups (the panel
+// broadcast, the hottest collective) fall entirely inside one shard.
+// Each shard owns a full engine instance: its own mutex, slot map,
+// pooled cascade worklist, wake list, and the Proc structs (mailboxes
+// included) of its rank range, allocated as one contiguous block. A
+// member list that lives inside one shard rendezvouses entirely under
+// that shard's lock; member lists that span shards (the LINPACK
+// grid-column groups, batched swap wavefronts between distant rows) go
+// through one extra "cross" engine instance — the sharded rendezvous
+// layer. Cross-engine symbolic dependencies (a member entering a
+// cross-shard collective while its release from an intra-shard one is
+// still outstanding) are resolved by a hand-off protocol that never
+// holds two engine locks at once; see fusedPost and drainCross in
+// fused.go.
+//
+// The safety rail is the same bit-identity contract the fused engine
+// shipped under: virtual times, ProcStats and traces are pure functions
+// of the program and the machine model, so every shard count produces
+// byte-identical output to Shards=1 (differential-tested in
+// shard_test.go, cmp-gated in CI). Shards=1 is exactly the PR 5 engine:
+// one instance, one lock.
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// engineShard is one shard of the fused-collective engine together with
+// the processes homed on it. With Config.Shards <= 1 a run has exactly
+// one shard and the engine behaves as the single-lock PR 5 design.
+type engineShard struct {
+	// mu guards this shard's slice of the fused-collective engine: its
+	// slot map and every slot's and rendezvous' state, plus the pooled
+	// cascade worklist and the wake list drained after mu drops.
+	mu      sync.Mutex
+	slots   map[string]*groupSlot
+	cascade []*rendezvous
+	wake    []*Proc
+
+	// procs are the processes homed on this shard (a contiguous rank
+	// range); the watchdog aggregates its counters shard by shard.
+	procs []*Proc
+}
+
+// defaultShards is what Config.Shards == 0 resolves to. Like the
+// collective mode, it is atomic so a CLI flag handler can set it once
+// while worker pools are quiescent without racing the runtime's readers.
+var defaultShards atomic.Int32
+
+func init() {
+	defaultShards.Store(1)
+	// Worker processes inherit the parent's -sim-shards choice through
+	// the environment (the shard executor re-execs the binary without
+	// re-passing flags).
+	if n, err := strconv.Atoi(os.Getenv("HPCC_SIM_SHARDS")); err == nil && n >= 1 {
+		defaultShards.Store(int32(n))
+	}
+}
+
+// SetDefaultShards sets how many engine shards a run with
+// Config.Shards == 0 uses. It is meant to be called once at process
+// start (the hpcc -sim-shards flag); mid-run calls affect only runs
+// started afterwards. Values below 1 reset to 1.
+func SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultShards.Store(int32(n))
+}
+
+// DefaultShards returns what Config.Shards == 0 currently resolves to.
+func DefaultShards() int {
+	return int(defaultShards.Load())
+}
+
+// shardOf returns the index of the engine shard homing rank r: the
+// balanced contiguous partition rank*S/n, precomputed per rank so the
+// slot-homing decision and the constructor can never disagree.
+func (rt *runtime) shardOf(r int) int {
+	return int(rt.shardIdx[r])
+}
+
+// homeOf returns the engine instance a member list rendezvouses on: the
+// homing shard when every member lives there, the cross engine
+// otherwise. Called once per slot; the result is cached on the slot.
+func (rt *runtime) homeOf(members []int) *engineShard {
+	if len(rt.shards) == 1 {
+		return rt.shards[0]
+	}
+	s := rt.shardOf(members[0])
+	for _, m := range members[1:] {
+		if rt.shardOf(m) != s {
+			return rt.cross
+		}
+	}
+	return rt.shards[s]
+}
+
+// adaptivePendLimit sizes a member's deferred-settlement window from the
+// process count. The window bounds in-flight rendezvous per slot (memory)
+// and how much work a cancelled run finishes before parking (latency),
+// while deeper windows batch more collective chains per host park. Small
+// runs keep a modest floor so tests still exercise deferral; large runs
+// saturate at 64 — on cold E4 a 128-deep window measured ~15% slower
+// than 64 (more live rendezvous per slot than the cache likes) while 32
+// and 64 tie, so the cap sits at the shallowest depth that keeps the
+// batching win.
+func adaptivePendLimit(n int) int {
+	l := n / 4
+	if l < 16 {
+		l = 16
+	}
+	if l > 64 {
+		l = 64
+	}
+	return l
+}

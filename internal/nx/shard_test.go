@@ -1,0 +1,358 @@
+package nx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/trace"
+)
+
+// The shard differential suite: every program below runs once on the
+// single-engine path (Shards=1, exactly the pre-sharding engine) and once
+// per higher shard count, and all runs must agree bit for bit — exit
+// clocks observed inside the program, final ProcStats, Makespan and trace
+// spans. This is the contract that lets -sim-shards default to any value
+// without changing a single reported number.
+
+// runSharded runs body in fused mode with the given shard count and
+// deferred-window override (0 = adaptive default).
+func runSharded(t *testing.T, model machine.Model, procs, shards, window int, body func(p *Proc)) *Result {
+	t.Helper()
+	res, err := Run(Config{
+		Model:       model,
+		Procs:       procs,
+		Collectives: CollectivesFused,
+		Shards:      shards,
+		pendLimit:   window,
+	}, body)
+	if err != nil {
+		t.Fatalf("shards=%d window=%d run: %v", shards, window, err)
+	}
+	return res
+}
+
+// assertSameResult demands bitwise equality of everything a Result
+// carries.
+func assertSameResult(t *testing.T, want, got *Result, label string) {
+	t.Helper()
+	if want.Makespan != got.Makespan {
+		t.Fatalf("%s: makespan %v, want %v (diff %g)", label, got.Makespan, want.Makespan, got.Makespan-want.Makespan)
+	}
+	if want.TotalFlops != got.TotalFlops || want.TotalBytes != got.TotalBytes || want.TotalMsgs != got.TotalMsgs {
+		t.Fatalf("%s: totals %+v, want %+v", label, got, want)
+	}
+	for i := range want.Procs {
+		if want.Procs[i] != got.Procs[i] {
+			t.Fatalf("%s: proc %d stats:\n got  %+v\n want %+v", label, i, got.Procs[i], want.Procs[i])
+		}
+	}
+}
+
+// TestShardDifferentialRandomPrograms sweeps random collective scripts —
+// member subsets spanning shard boundaries, a contiguous block group that
+// is intra-shard at low counts and split at high ones, pairwise exchange
+// batches, point-to-point traffic, per-member compute skew, mid-program
+// clock samples — across shard counts and asserts bit-identical results
+// against Shards=1.
+func TestShardDifferentialRandomPrograms(t *testing.T) {
+	shapes := [][2]int{{1, 2}, {2, 2}, {1, 7}, {3, 5}, {4, 8}, {2, 16}}
+	for trial := 0; trial < 24; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			shape := shapes[trial%len(shapes)]
+			model := diffModel(shape[0], shape[1])
+			procs := model.Nodes()
+			rng := rand.New(rand.NewSource(int64(4000 + trial)))
+			members := randMembers(rng, procs)
+			// block is a contiguous rank range: one shard's worth at some
+			// counts, straddling a boundary at others.
+			block := make([]int, 1+procs/3)
+			for i := range block {
+				block[i] = i
+			}
+			type op struct {
+				kind   int
+				root   int
+				size   int
+				exch   int // pairwise exchange batch length (0 = none)
+				sample bool
+				skews  []float64
+			}
+			ops := make([]op, 8+rng.Intn(8))
+			for i := range ops {
+				o := &ops[i]
+				o.kind = rng.Intn(6)
+				o.root = rng.Intn(len(members))
+				o.size = rng.Intn(5)
+				if rng.Intn(3) == 0 {
+					o.exch = 1 + rng.Intn(5)
+				}
+				o.sample = rng.Intn(3) == 0
+				o.skews = make([]float64, procs)
+				for r := range o.skews {
+					if rng.Intn(2) == 0 {
+						o.skews[r] = rng.Float64() * 1e-3
+					}
+				}
+			}
+
+			run := func(shards int) ([]float64, [][]float64) {
+				exits := make([][]float64, procs)
+				body := func(p *Proc) {
+					me := -1
+					for i, m := range members {
+						if m == p.Rank() {
+							me = i
+						}
+					}
+					var g, bg *Group
+					if me >= 0 {
+						g = p.Group(members)
+					}
+					if p.Rank() < len(block) {
+						bg = p.Group(block)
+					}
+					for _, o := range ops {
+						p.Compute(machine.OpVector, o.skews[p.Rank()]*1e9)
+						if o.exch > 0 {
+							if peer := p.Rank() ^ 1; peer < procs {
+								p.ExchangeBatchPhantom(peer, Tag(5), 8*o.exch, o.exch)
+							}
+						}
+						switch {
+						case g != nil:
+							switch o.kind {
+							case 0:
+								g.Barrier()
+							case 1:
+								g.BcastPhantom(o.root, 64+o.size)
+							case 2:
+								g.ReducePhantom(o.root, 8*(1+o.size))
+							case 3:
+								g.AllreducePhantom(o.root, 16)
+							case 4:
+								xs := []float64{float64(me) * 0.25, float64(o.size)}
+								got := g.AllreduceFloats(xs, SumOp)
+								exits[p.Rank()] = append(exits[p.Rank()], got...)
+							case 5:
+								g.BcastFlatPhantom(o.root, 32+o.size)
+							}
+						default:
+							p.Compute(machine.OpScalar, 500)
+						}
+						if bg != nil && o.kind%2 == 0 {
+							bg.BcastPhantom(0, 128)
+						}
+						if o.sample {
+							exits[p.Rank()] = append(exits[p.Rank()], p.Now())
+						}
+					}
+					exits[p.Rank()] = append(exits[p.Rank()], p.Now())
+				}
+				res := runSharded(t, model, procs, shards, 0, body)
+				return []float64{res.Makespan}, exits
+			}
+
+			baseFlat, baseExits := run(1)
+			for _, shards := range []int{2, 4, 8} {
+				flat, exits := run(shards)
+				if !reflect.DeepEqual(baseFlat, flat) {
+					t.Fatalf("shards=%d makespan diverges: %v vs %v", shards, flat, baseFlat)
+				}
+				for r := 0; r < procs; r++ {
+					if !reflect.DeepEqual(baseExits[r], exits[r]) {
+						t.Fatalf("shards=%d proc %d exit clocks diverge:\n got  %v\n want %v",
+							shards, r, exits[r], baseExits[r])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardDifferentialResults pins the full Result (stats, totals,
+// makespan) across shard counts on one fixed collective-heavy program.
+func TestShardDifferentialResults(t *testing.T) {
+	model := diffModel(4, 8)
+	procs := model.Nodes()
+	body := func(p *Proc) {
+		w := p.World()
+		var row *Group
+		lo := (p.Rank() / 8) * 8
+		rowMembers := []int{lo, lo + 1, lo + 2, lo + 3, lo + 4, lo + 5, lo + 6, lo + 7}
+		row = p.Group(rowMembers)
+		for it := 0; it < 30; it++ {
+			p.Compute(machine.OpGemm, float64(1+p.Rank()%5)*1e4)
+			row.BcastPhantom(it%8, 256)
+			w.AllreducePhantom(0, 16)
+			if it%4 == 0 {
+				if peer := p.Rank() ^ 8; peer < procs {
+					p.ExchangeBatchPhantom(peer, Tag(3), 64, 3)
+				}
+			}
+		}
+	}
+	base := runSharded(t, model, procs, 1, 0, body)
+	for _, shards := range []int{2, 4, 8} {
+		got := runSharded(t, model, procs, shards, 0, body)
+		assertSameResult(t, base, got, fmt.Sprintf("shards=%d", shards))
+	}
+}
+
+// TestShardPendLimitWindows pins bit-identical virtual times across
+// deferred-settlement window sizes — the adaptive maxPend must be a pure
+// host-side batching knob.
+func TestShardPendLimitWindows(t *testing.T) {
+	model := diffModel(2, 8)
+	procs := model.Nodes()
+	body := func(p *Proc) {
+		w := p.World()
+		for it := 0; it < 200; it++ {
+			p.Compute(machine.OpVector, float64(p.Rank()*100+it))
+			w.BcastPhantom(it%procs, 64)
+			w.ReducePhantom(0, 8)
+			if it%17 == 0 {
+				if peer := p.Rank() ^ 1; peer < procs {
+					p.ExchangeBatchPhantom(peer, Tag(2), 16, 2)
+				}
+			}
+		}
+	}
+	base := runSharded(t, model, procs, 1, 64, body)
+	for _, window := range []int{1, 2, 7, 128, 1024} {
+		for _, shards := range []int{1, 4} {
+			got := runSharded(t, model, procs, shards, window, body)
+			assertSameResult(t, base, got, fmt.Sprintf("window=%d shards=%d", window, shards))
+		}
+	}
+}
+
+// TestShardExchangeBatchDifferential: a fused exchange batch must be
+// bit-identical to the hand-written SendPhantom/Recv loop on the tree
+// path, on the single-engine fused path, and across shards (the exchange
+// pair straddles the shard boundary at shards>=2).
+func TestShardExchangeBatchDifferential(t *testing.T) {
+	model := diffModel(2, 4)
+	procs := model.Nodes()
+	script := func(batched bool) func(p *Proc) {
+		return func(p *Proc) {
+			peer := procs - 1 - p.Rank() // distant peer: crosses shards
+			w := p.World()
+			for it := 0; it < 12; it++ {
+				p.Compute(machine.OpVector, float64(1000*(p.Rank()+1)))
+				if batched {
+					p.ExchangeBatchPhantom(peer, Tag(9), 8*(1+it%3), 4)
+				} else {
+					for k := 0; k < 4; k++ {
+						p.SendPhantom(peer, Tag(9), 8*(1+it%3))
+						p.Recv(peer, Tag(9))
+					}
+				}
+				w.AllreducePhantom(0, 16)
+			}
+		}
+	}
+	tree, err := Run(Config{Model: model, Collectives: CollectivesTree}, script(true))
+	if err != nil {
+		t.Fatalf("tree run: %v", err)
+	}
+	loop, err := Run(Config{Model: model, Collectives: CollectivesFused}, script(false))
+	if err != nil {
+		t.Fatalf("fused loop run: %v", err)
+	}
+	assertSameResult(t, tree, loop, "fused hand-written loop vs tree")
+	for _, shards := range []int{1, 2, 4} {
+		got := runSharded(t, model, procs, shards, 0, script(true))
+		assertSameResult(t, tree, got, fmt.Sprintf("batched shards=%d", shards))
+	}
+}
+
+// TestShardTraceDifferential: with a Recorder attached, every shard count
+// must emit the identical span stream.
+func TestShardTraceDifferential(t *testing.T) {
+	model := diffModel(2, 4)
+	run := func(shards int) []trace.Record {
+		rec := trace.NewRecorder(model.Nodes())
+		_, err := Run(Config{Model: model, Trace: rec, Collectives: CollectivesFused, Shards: shards}, func(p *Proc) {
+			g := p.World()
+			p.Compute(machine.OpGemm, float64(1e6*(p.Rank()+1)))
+			g.Barrier()
+			g.BcastPhantom(0, 1024)
+			if peer := p.Rank() ^ 1; peer < p.Size() {
+				p.ExchangeBatchPhantom(peer, Tag(1), 32, 2)
+			}
+			g.AllreducePhantom(0, 8)
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return rec.Records()
+	}
+	base := run(1)
+	for _, shards := range []int{2, 4, 8} {
+		got := run(shards)
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("shards=%d trace records diverge: %d records, want %d", shards, len(got), len(base))
+		}
+	}
+}
+
+// TestShardCancelPromptlyStopsShards: cancelling the Ctx of a sharded run
+// must unblock every shard's processes and return promptly — Run's own
+// WaitGroup guarantees no process goroutine outlives the return.
+func TestShardCancelPromptlyStopsShards(t *testing.T) {
+	model := diffModel(4, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(30*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := Run(Config{Model: model, Ctx: ctx, Collectives: CollectivesFused, Shards: 4}, func(p *Proc) {
+		w := p.World()
+		for {
+			p.Compute(machine.OpVector, 100)
+			w.AllreducePhantom(0, 8)
+			w.Barrier() // settles: parks in the fused wait across shards
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancelled run took %v to return", d)
+	}
+}
+
+// TestShardConfigValidation: negative shard counts are rejected; counts
+// above the process count clamp rather than fail.
+func TestShardConfigValidation(t *testing.T) {
+	model := diffModel(1, 4)
+	if _, err := Run(Config{Model: model, Shards: -3}, func(p *Proc) {}); err == nil {
+		t.Fatal("Shards=-3: expected error")
+	}
+	res, err := Run(Config{Model: model, Shards: 64, Collectives: CollectivesFused}, func(p *Proc) {
+		p.World().Barrier()
+	})
+	if err != nil || res == nil {
+		t.Fatalf("Shards=64 on 4 procs: %v", err)
+	}
+}
+
+// TestShardDefaultShards: the process-wide default drives Config.Shards=0
+// and survives round-trips through the setter.
+func TestShardDefaultShards(t *testing.T) {
+	old := DefaultShards()
+	defer SetDefaultShards(old)
+	SetDefaultShards(3)
+	if got := DefaultShards(); got != 3 {
+		t.Fatalf("DefaultShards() = %d, want 3", got)
+	}
+	SetDefaultShards(0) // resets to 1
+	if got := DefaultShards(); got != 1 {
+		t.Fatalf("DefaultShards() after 0 = %d, want 1", got)
+	}
+}
