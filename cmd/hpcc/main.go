@@ -12,6 +12,9 @@
 //	hpcc sweep [-ids a,b,c] [-j N] [-shards N] [-json] [-store DIR]
 //	hpcc sweep -param nb -values 4,8,16 linpack/delta
 //	hpcc worker   # shard child: JSONL jobs on stdin, results on stdout
+//	hpcc worker -listen 127.0.0.1:7841   # remote fleet worker over TCP
+//	hpcc sweep -remote host1:7841,host2:7841   # sweep across a fleet
+//	hpcc serve -addr 127.0.0.1:8080 -cache .hpcc-cache -store .hpcc-store
 //	hpcc diff [-store DIR] [-threshold 0.05] [-json] [old-ref [new-ref]]
 //	hpcc linpack | nren | delta | funding   # the old binaries
 //
@@ -23,11 +26,19 @@
 package main
 
 import (
+	"context"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cli"
 )
 
 func main() {
-	os.Exit(cli.Main(os.Args[1:], os.Stdout, os.Stderr))
+	// Interrupts cancel the context instead of killing the process, so
+	// the long-lived modes (serve, worker -listen) drain gracefully and
+	// sweeps stop their workers; a second interrupt kills hard as usual.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(cli.MainContext(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -67,7 +67,8 @@ func commands() []command {
 		{"list", "list the registered workloads and their parameters", cmdList},
 		{"run", "run one workload by ID", cmdRun},
 		{"sweep", "run a set of workloads, or one workload over parameter values", cmdSweep},
-		{"worker", "serve sweep jobs from stdin as JSONL (the -shards child process)", cmdWorker},
+		{"worker", "serve sweep jobs from stdin as JSONL, or over TCP with -listen", cmdWorker},
+		{"serve", "long-lived HTTP JSON API over run/sweep/report/trend", cmdServe},
 		{"diff", "compare two stored snapshots and flag metric regressions", cmdDiff},
 		{"cache", "result-cache maintenance: prune entries by age/size", cmdCache},
 		{"linpack", "LINPACK benchmark and parameter sweeps (legacy tool)", cmdLinpack},

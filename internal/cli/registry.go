@@ -72,6 +72,7 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	quick := fs.Bool("quick", false, "scale down the expensive experiments")
 	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
 	shards := fs.Int("shards", 0, "fan exhibits out to N hpcc worker processes (0 = in-process -j pool; output is identical either way)")
+	remote := fs.String("remote", "", "fan exhibits out to hpcc worker -listen fleet at these comma-separated addresses (output is identical either way)")
 	exp := fs.String("e", "", "run a single experiment by ID (E1..E7)")
 	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
 	var sf storeFlags
@@ -116,7 +117,7 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		}
 		return sf.persist(ctx, []store.Entry{{Params: reportParams, Result: res}}, stderr)
 	}
-	ex, err := newExecutor(*shards, *jobs, stderr)
+	ex, err := newExecutor(*shards, *jobs, *remote, stderr)
 	if err != nil {
 		return err
 	}
@@ -290,6 +291,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	ids := fs.String("ids", "", "comma-separated workload IDs (default: every registered workload)")
 	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers (output is identical for any value)")
 	shards := fs.Int("shards", 0, "fan jobs out to N hpcc worker processes (0 = in-process -j pool; output is identical either way)")
+	remote := fs.String("remote", "", "fan jobs out to hpcc worker -listen fleet at these comma-separated addresses (output is identical either way)")
 	quick := fs.Bool("quick", false, "scaled-down smoke configurations")
 	seed := fs.Int64("seed", 0, "seed for randomized workloads")
 	jsonOut := fs.Bool("json", false, "emit structured JSON instead of text")
@@ -368,7 +370,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		jobList = harness.WorkloadJobs(ws, base)
 	}
 
-	ex, err := newExecutor(*shards, *jobs, stderr)
+	ex, err := newExecutor(*shards, *jobs, *remote, stderr)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,96 @@
+package cli
+
+// CLI-level tests for the remote fleet: `hpcc worker -listen` serving
+// over TCP, and sweep/report -remote matching the local pool byte for
+// byte. The workers run in-process via MainContext — same binary, same
+// registry, exactly what a same-build fleet deployment looks like.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startFleetWorker runs `hpcc worker -listen 127.0.0.1:0` on a goroutine
+// and returns the address it bound. The worker stops with ctx.
+func startFleetWorker(t *testing.T, ctx context.Context) string {
+	t.Helper()
+	var mu sync.Mutex
+	var out bytes.Buffer
+	locked := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.Write(p)
+	})
+	go MainContext(ctx, []string{"worker", "-listen", "127.0.0.1:0"}, locked, io.Discard)
+	return awaitBanner(t, &mu, &out, "hpcc worker: listening on ")
+}
+
+func TestSweepRemoteFleetByteIdentical(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := startFleetWorker(t, ctx) + "," + startFleetWorker(t, ctx)
+
+	local, _, code := run(t, "sweep", "-ids", "E1,E3,linpack/delta", "-quick")
+	if code != 0 {
+		t.Fatalf("local sweep exit %d", code)
+	}
+	remote, errOut, code := run(t, "sweep", "-ids", "E1,E3,linpack/delta", "-quick", "-remote", addrs)
+	if code != 0 {
+		t.Fatalf("remote sweep exit %d: %s", code, errOut)
+	}
+	if remote != local {
+		t.Fatalf("sweep -remote output differs from the local pool:\n%s\n---\n%s", remote, local)
+	}
+}
+
+func TestReportRemoteFleetByteIdentical(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr := startFleetWorker(t, ctx)
+
+	local, _, code := run(t, "report", "-quick", "-j", "4")
+	if code != 0 {
+		t.Fatalf("local report exit %d", code)
+	}
+	remote, errOut, code := run(t, "report", "-quick", "-remote", addr)
+	if code != 0 {
+		t.Fatalf("remote report exit %d: %s", code, errOut)
+	}
+	if remote != local {
+		t.Fatal("report -remote output differs from the local pool")
+	}
+}
+
+func TestRemoteAndShardsMutuallyExclusive(t *testing.T) {
+	_, errOut, code := run(t, "sweep", "-ids", "E1", "-remote", "127.0.0.1:1", "-shards", "2")
+	if code == 0 {
+		t.Fatal("-remote with -shards accepted")
+	}
+	if !strings.Contains(errOut, "mutually exclusive") {
+		t.Fatalf("unhelpful error: %s", errOut)
+	}
+}
+
+func TestRemoteBadAddressListFailsFast(t *testing.T) {
+	_, errOut, code := run(t, "sweep", "-ids", "E1", "-remote", "127.0.0.1:1,,127.0.0.1:2")
+	if code == 0 {
+		t.Fatal("empty address accepted")
+	}
+	if !strings.Contains(errOut, "empty address") {
+		t.Fatalf("unhelpful error: %s", errOut)
+	}
+}
+
+func TestWorkerListenRejectsPositionalArgs(t *testing.T) {
+	_, errOut, code := run(t, "worker", "-listen", "127.0.0.1:0", "extra")
+	if code == 0 {
+		t.Fatal("worker with positional args accepted")
+	}
+	if !strings.Contains(errOut, "takes no arguments") {
+		t.Fatalf("unhelpful error: %s", errOut)
+	}
+}

@@ -1,0 +1,353 @@
+package cli
+
+// The `hpcc serve` subcommand: the run/sweep/report/trend pipeline as a
+// long-lived HTTP JSON API. The process keeps the registry, the result
+// cache and the run store warm across requests, so a dashboard or a CI
+// fleet can ask for exhibits without paying process startup per query.
+// Identical concurrent requests are coalesced through a single flight
+// and answered from one workload run; repeat requests are served from
+// the content-addressed cache when -cache is set. Every response carries
+// an X-HPCC-Cache header saying which of those paths it took.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/store"
+)
+
+func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "address to listen on")
+	jobs := fs.Int("j", harness.DefaultWorkers(), "concurrent workers per sweep/report request")
+	shards := fs.Int("shards", 0, "fan each sweep/report out to N hpcc worker processes")
+	remote := fs.String("remote", "", "fan each sweep/report out to hpcc worker -listen fleet at these comma-separated addresses")
+	storeDir := fs.String("store", "", "serve /api/v1/trend from the run store in this directory (e.g. "+store.DefaultDir+")")
+	var cf cacheFlags
+	cf.register(fs)
+	var xf collectivesFlags
+	xf.register(fs)
+	var ssf simShardsFlags
+	ssf.register(fs)
+	if err := fs.Parse(args); err != nil {
+		return parseErr(err)
+	}
+	if fs.NArg() > 0 {
+		return errors.New("serve: takes no arguments")
+	}
+	if err := xf.apply(); err != nil {
+		return err
+	}
+	if err := ssf.apply(); err != nil {
+		return err
+	}
+	resultCache, err := cf.open()
+	if err != nil {
+		return err
+	}
+	// Fail a bad executor configuration now, not on the first request.
+	if _, err := newExecutor(*shards, *jobs, *remote, io.Discard); err != nil {
+		return err
+	}
+
+	srv := &server{
+		cache:    resultCache,
+		storeDir: *storeDir,
+		stderr:   stderr,
+		newExec: func() (harness.Executor, error) {
+			return newExecutor(*shards, *jobs, *remote, stderr)
+		},
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	// The actual address matters when -addr used port 0 (tests).
+	fmt.Fprintf(stdout, "hpcc serve: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{
+		Handler:     srv.handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: in-flight requests get a grace period, then the
+		// door closes hard.
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		return nil
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+}
+
+// server holds what requests share: the cache, the store location, and
+// the flight table that coalesces identical concurrent requests.
+// Executors are built per request — CachingExecutor keeps per-sweep
+// hit/miss counters, so sharing one across requests would race.
+type server struct {
+	reg      *harness.Registry // nil means the Default registry
+	cache    *cache.Cache
+	storeDir string
+	stderr   io.Writer
+	newExec  func() (harness.Executor, error)
+	flight   cache.Flight
+}
+
+func (s *server) registry() *harness.Registry {
+	if s.reg != nil {
+		return s.reg
+	}
+	return harness.Default
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /api/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("POST /api/v1/run", s.handleRun)
+	mux.HandleFunc("POST /api/v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /api/v1/report", s.handleReport)
+	mux.HandleFunc("GET /api/v1/trend", s.handleTrend)
+	return mux
+}
+
+// httpError answers with a JSON error body, so API clients never have to
+// parse text/plain out of an application/json endpoint.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSONResponse(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// decodeStrict parses a JSON request body into v, rejecting unknown
+// fields and trailing garbage — a typo'd field name must be a 400, not a
+// silently ignored option.
+func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var extra any
+	if err := dec.Decode(&extra); err != io.EOF {
+		return errors.New("trailing data after the JSON body")
+	}
+	return nil
+}
+
+func (s *server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID          string          `json:"id"`
+		Description string          `json:"description"`
+		Params      []harness.Param `json:"params,omitempty"`
+	}
+	out := []entry{}
+	for _, wl := range s.registry().All() {
+		out = append(out, entry{ID: wl.ID(), Description: wl.Description(), Params: wl.ParamSpace()})
+	}
+	writeJSONResponse(w, out)
+}
+
+// runOutcome is what one coalesced run flight delivers to every waiter:
+// the result plus which path produced it.
+type runOutcome struct {
+	res    harness.Result
+	status string // hit | miss | bypass
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID     string            `json:"id"`
+		Quick  bool              `json:"quick"`
+		Seed   int64             `json:"seed"`
+		Values map[string]string `json:"values"`
+	}
+	if err := decodeStrict(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.ID == "" {
+		httpError(w, http.StatusBadRequest, "missing workload id")
+		return
+	}
+	wl, err := s.registry().Lookup(req.ID)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	params := harness.Params{Quick: req.Quick, Seed: req.Seed, Values: req.Values}
+	version := harness.VersionOf(wl)
+	// The flight key is the cache key: identical (workload, params,
+	// kernel version) triples in flight at once run the workload once,
+	// and every waiter shares the leader's outcome.
+	key := "run\x00" + cache.Key(wl.ID(), params, version)
+	v, _, err := s.flight.Do(key, func() (any, error) {
+		if s.cache == nil {
+			res, err := runCached(r.Context(), nil, wl, params, s.stderr)
+			return runOutcome{res, "bypass"}, err
+		}
+		if res, ok := s.cache.Get(wl.ID(), params, version); ok {
+			if res.WorkloadID == "" {
+				res.WorkloadID = wl.ID()
+			}
+			return runOutcome{res, "hit"}, nil
+		}
+		res, err := runCached(r.Context(), s.cache, wl, params, s.stderr)
+		return runOutcome{res, "miss"}, err
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "run %s: %v", req.ID, err)
+		return
+	}
+	out := v.(runOutcome)
+	w.Header().Set("X-HPCC-Cache", out.status)
+	writeJSONResponse(w, out.res)
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		IDs    []string `json:"ids"`
+		ID     string   `json:"id"`
+		Param  string   `json:"param"`
+		Values []string `json:"values"`
+		Quick  bool     `json:"quick"`
+		Seed   int64    `json:"seed"`
+	}
+	if err := decodeStrict(w, r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	base := harness.Params{Quick: req.Quick, Seed: req.Seed}
+	var jobList []harness.Job
+	switch {
+	case req.Param != "":
+		if req.ID == "" || len(req.Values) == 0 {
+			httpError(w, http.StatusBadRequest, "a param sweep needs id, param and values")
+			return
+		}
+		wl, err := s.registry().Lookup(req.ID)
+		if err != nil {
+			httpError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		jobList = harness.ValueJobs(wl, base, req.Param, req.Values)
+	case req.ID != "":
+		httpError(w, http.StatusBadRequest, "id without param/values; use ids for a portfolio")
+		return
+	default:
+		var ws []harness.Workload
+		if len(req.IDs) == 0 {
+			ws = s.registry().All()
+		} else {
+			for _, id := range req.IDs {
+				wl, err := s.registry().Lookup(id)
+				if err != nil {
+					httpError(w, http.StatusNotFound, "%v", err)
+					return
+				}
+				ws = append(ws, wl)
+			}
+		}
+		jobList = harness.WorkloadJobs(ws, base)
+	}
+	results, cacheNote, err := s.execute(r.Context(), jobList)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "sweep: %v", err)
+		return
+	}
+	w.Header().Set("X-HPCC-Cache", cacheNote)
+	writeJSONResponse(w, results)
+}
+
+func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
+	quick := r.URL.Query().Get("quick") != ""
+	// Reports are heavy and parameterless beyond quick: coalesce them.
+	v, _, err := s.flight.Do("report\x00"+strconv.FormatBool(quick), func() (any, error) {
+		prog := core.NewProgram()
+		prog.Quick = quick
+		ex, err := s.newExec()
+		if err != nil {
+			return nil, err
+		}
+		results, err := prog.ReportResultsExec(r.Context(), wrapExecutor(ex, s.cache), nil)
+		return results, err
+	})
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "report: %v", err)
+		return
+	}
+	writeJSONResponse(w, v)
+}
+
+func (s *server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	if s.storeDir == "" {
+		httpError(w, http.StatusServiceUnavailable, "trend needs a run store: restart serve with -store")
+		return
+	}
+	workload := r.URL.Query().Get("workload")
+	if workload == "" {
+		httpError(w, http.StatusBadRequest, "missing ?workload=")
+		return
+	}
+	st, err := store.Open(s.storeDir)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	snaps, err := st.Snapshots()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if len(snaps) == 0 {
+		httpError(w, http.StatusNotFound, "%v", store.NoSnapshotsError(s.storeDir))
+		return
+	}
+	points, err := store.Trend(snaps, workload, r.URL.Query().Get("metric"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSONResponse(w, points)
+}
+
+// execute runs one request's job list on a fresh executor, cache-fronted
+// when serve has a cache, and reports the hit/miss tally for the
+// response header.
+func (s *server) execute(ctx context.Context, jobList []harness.Job) ([]harness.Result, string, error) {
+	ex, err := s.newExec()
+	if err != nil {
+		return nil, "", err
+	}
+	if s.cache == nil {
+		results, err := ex.Execute(ctx, jobList, nil)
+		return results, "bypass", err
+	}
+	ce := &harness.CachingExecutor{Inner: ex, Cache: s.cache}
+	results, err := ce.Execute(ctx, jobList, nil)
+	return results, fmt.Sprintf("hits=%d misses=%d", ce.Hits, ce.Misses), err
+}

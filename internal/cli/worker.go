@@ -1,8 +1,8 @@
 package cli
 
-// Process-sharded sweeps: the `hpcc worker` subcommand (the child side
-// of the harness JSONL wire protocol) and the -shards executor wiring
-// used by sweep and report.
+// Process-sharded and remote-fleet sweeps: the `hpcc worker` subcommand
+// (stdin/stdout shard child, or with -listen a TCP fleet worker) and the
+// -shards/-remote executor wiring used by sweep and report.
 
 import (
 	"context"
@@ -10,7 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
 )
@@ -24,27 +26,67 @@ const workerEnv = "HPCC_WORKER_PROCESS"
 func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hpcc worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	listen := fs.String("listen", "", "serve jobs over TCP on this address (e.g. 127.0.0.1:7841) instead of stdin/stdout")
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
 	if fs.NArg() > 0 {
-		return errors.New("worker: takes no arguments (jobs arrive as JSONL on stdin)")
+		return errors.New("worker: takes no arguments (jobs arrive as JSONL on stdin, or over TCP with -listen)")
 	}
-	return harness.ServeWorker(ctx, harness.Default, os.Stdin, stdout)
+	if *listen == "" {
+		return harness.ServeWorker(ctx, harness.Default, os.Stdin, stdout)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("worker: %w", err)
+	}
+	// The actual address matters when -listen used port 0 (tests).
+	fmt.Fprintf(stdout, "hpcc worker: listening on %s\n", ln.Addr())
+	srv := &harness.RemoteWorkerServer{Registry: harness.Default, Stderr: stderr}
+	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
+		return err
+	}
+	return nil
+}
+
+// splitRemoteAddrs parses a -remote flag value: comma-separated
+// host:port addresses, whitespace-trimmed, empties rejected.
+func splitRemoteAddrs(s string) ([]string, error) {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, a := range parts {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			return nil, fmt.Errorf("-remote: empty address in %q", s)
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // newExecutor picks the engine a sweep or report runs on: the in-process
-// pool, or (-shards > 0) that many child processes re-exec'ing this
-// binary's worker subcommand. Nonsensical counts fail here, before any
-// workload runs: the executors would quietly reinterpret them (-j 0 as
-// "one per core", negative -shards as "no sharding"), which hides typos
-// like "-j $EMPTY_VAR".
-func newExecutor(shards, jobs int, stderr io.Writer) (harness.Executor, error) {
+// pool, (-shards > 0) that many child processes re-exec'ing this
+// binary's worker subcommand, or (-remote) a fleet of `hpcc worker
+// -listen` processes reached over TCP. Nonsensical counts fail here,
+// before any workload runs: the executors would quietly reinterpret them
+// (-j 0 as "one per core", negative -shards as "no sharding"), which
+// hides typos like "-j $EMPTY_VAR".
+func newExecutor(shards, jobs int, remote string, stderr io.Writer) (harness.Executor, error) {
 	if jobs < 1 {
 		return nil, fmt.Errorf("-j must be at least 1 (got %d)", jobs)
 	}
 	if shards < 0 {
 		return nil, fmt.Errorf("-shards must be non-negative (got %d; 0 means the in-process pool)", shards)
+	}
+	if remote != "" {
+		if shards > 0 {
+			return nil, errors.New("-remote and -shards are mutually exclusive (the fleet already is the sharding)")
+		}
+		addrs, err := splitRemoteAddrs(remote)
+		if err != nil {
+			return nil, err
+		}
+		return &harness.RemoteExecutor{Addrs: addrs, Registry: harness.Default, Stderr: stderr}, nil
 	}
 	if shards == 0 {
 		return harness.LocalExecutor{Workers: jobs}, nil

@@ -1,0 +1,257 @@
+package harness
+
+// A deterministic fault-injection transport for the remote executor.
+// chaosConn sits between RemoteExecutor and a real connection and
+// mangles whole wire frames — drop, delay, duplicate, truncate,
+// reorder, close-mid-sweep — under a seeded RNG, so every failure mode
+// the fleet manager claims to survive can be replayed exactly in tests.
+// The invariant under test is always the same: whatever the transport
+// does, assembled sweep output stays byte-identical to LocalExecutor,
+// because a stranded job index is re-dispatched and a corrupted stream
+// evicts the worker rather than completing the wrong slot.
+//
+// This is test infrastructure, but it lives in the package proper so
+// the CLI gates in CI (and future transports) can reuse it.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrChaosDrop is the error a chaos connection fails with when it
+// swallows a frame: a dropped frame with a live connection would stall
+// the sweep forever behind heartbeats, so dropping kills the link and
+// forces the eviction path.
+var ErrChaosDrop = errors.New("harness: chaos dropped a wire frame")
+
+// ChaosPlan is a seeded recipe of per-frame misbehavior. Probabilities
+// are per frame and independent; zero values inject nothing.
+type ChaosPlan struct {
+	// Seed makes every run of the plan identical.
+	Seed int64
+	// DropFrame is the probability a frame is swallowed; the connection
+	// dies with it (see ErrChaosDrop).
+	DropFrame float64
+	// TruncateFrame is the probability a frame is cut in half and the
+	// stream ends mid-line — the receiver sees ErrTruncatedFrame.
+	TruncateFrame float64
+	// DuplicateFrame is the probability a frame is delivered twice —
+	// the receiver's responseTracker must flag the duplicate index.
+	DuplicateFrame float64
+	// ReorderFrame is the probability an inbound frame is held and
+	// delivered after its successor (benign: completion order is not
+	// protocol). It applies only to the read side: inbound streams carry
+	// heartbeats, so a successor frame always arrives to release the
+	// held one — an outbound stream has no such guarantee, and holding
+	// its final frame would stall the sweep forever.
+	ReorderFrame float64
+	// Delay, when > 0, sleeps a seeded random duration in [0, Delay]
+	// before each frame.
+	Delay time.Duration
+	// CloseAfterFrames, when > 0, delivers that many inbound frames and
+	// then ends the stream cleanly (io.EOF) — a worker vanishing
+	// mid-sweep without even a torn line.
+	CloseAfterFrames int
+}
+
+// DialFunc matches RemoteExecutor.Dial.
+type DialFunc func(ctx context.Context, addr string) (net.Conn, error)
+
+// ChaosDial wraps dial (nil means plain TCP) so connections to the
+// listed addrs run through a chaosConn with plan. With no addrs, every
+// connection is wrapped. Each connection gets its own RNG derived from
+// plan.Seed and a connection counter, so a test run is reproducible
+// frame for frame.
+func ChaosDial(dial DialFunc, plan ChaosPlan, addrs ...string) DialFunc {
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	faulty := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		faulty[a] = true
+	}
+	var conns atomic.Int64
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		conn, err := dial(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		if len(faulty) > 0 && !faulty[addr] {
+			return conn, nil
+		}
+		return newChaosConn(conn, plan, plan.Seed*1000003+conns.Add(1)), nil
+	}
+}
+
+// NewChaosExecutor returns a copy of e whose transport to faultyAddrs
+// (all addresses when empty) runs through plan.
+func NewChaosExecutor(e *RemoteExecutor, plan ChaosPlan, faultyAddrs ...string) *RemoteExecutor {
+	c := *e
+	c.Dial = ChaosDial(e.Dial, plan, faultyAddrs...)
+	return &c
+}
+
+// chaosConn applies a ChaosPlan to both directions of a connection.
+// Frames are newline-delimited, exactly as the wire protocol writes
+// them; the read side reassembles frames from the raw stream, the write
+// side relies on EncodeWire issuing one complete frame per Write call.
+// Deadlines and the rest of net.Conn pass through to the wrapped
+// connection.
+type chaosConn struct {
+	net.Conn
+	r *chaosReader
+	w *chaosWriter
+}
+
+func newChaosConn(conn net.Conn, plan ChaosPlan, seed int64) *chaosConn {
+	return &chaosConn{
+		Conn: conn,
+		r:    &chaosReader{conn: conn, plan: plan, rng: rand.New(rand.NewSource(seed*2 + 1))},
+		w:    &chaosWriter{conn: conn, plan: plan, rng: rand.New(rand.NewSource(seed * 2))},
+	}
+}
+
+func (c *chaosConn) Read(p []byte) (int, error)  { return c.r.Read(p) }
+func (c *chaosConn) Write(p []byte) (int, error) { return c.w.Write(p) }
+
+// chaosReader mangles inbound frames. It accumulates raw bytes until a
+// frame boundary, rolls the frame's fate, and serves the resulting
+// bytes; once a fate kills the stream, the remaining buffered bytes
+// drain first and then every Read fails with the recorded error.
+type chaosReader struct {
+	conn   net.Conn
+	plan   ChaosPlan
+	rng    *rand.Rand
+	buf    []byte // processed bytes ready for the caller
+	raw    []byte // partial frame still being accumulated
+	held   []byte // frame held back by a reorder fate
+	frames int
+	dead   error
+	tmp    [4096]byte
+}
+
+func (s *chaosReader) Read(p []byte) (int, error) {
+	for len(s.buf) == 0 {
+		if s.dead != nil {
+			return 0, s.dead
+		}
+		n, err := s.conn.Read(s.tmp[:])
+		s.raw = append(s.raw, s.tmp[:n]...)
+		for {
+			nl := bytes.IndexByte(s.raw, '\n')
+			if nl < 0 {
+				break
+			}
+			frame := append([]byte(nil), s.raw[:nl+1]...)
+			s.raw = s.raw[nl+1:]
+			s.deliver(frame)
+			if s.dead != nil {
+				break
+			}
+		}
+		if err != nil && s.dead == nil {
+			// Genuine end of stream: flush what chaos was holding, pass
+			// any torn tail through untouched, then surface the error.
+			if s.held != nil {
+				s.buf = append(s.buf, s.held...)
+				s.held = nil
+			}
+			s.buf = append(s.buf, s.raw...)
+			s.raw = nil
+			s.dead = err
+		}
+	}
+	n := copy(p, s.buf)
+	s.buf = s.buf[n:]
+	return n, nil
+}
+
+// deliver rolls one frame's fate and appends the outcome to buf.
+func (s *chaosReader) deliver(frame []byte) {
+	s.frames++
+	if s.plan.CloseAfterFrames > 0 && s.frames > s.plan.CloseAfterFrames {
+		s.dead = io.EOF
+		return
+	}
+	if s.plan.Delay > 0 {
+		time.Sleep(time.Duration(s.rng.Int63n(int64(s.plan.Delay) + 1)))
+	}
+	switch {
+	case s.rng.Float64() < s.plan.DropFrame:
+		s.dead = ErrChaosDrop
+	case s.rng.Float64() < s.plan.TruncateFrame:
+		s.buf = append(s.buf, frame[:len(frame)/2]...)
+		s.dead = io.EOF // mid-line EOF: the reader reports ErrTruncatedFrame
+	case s.rng.Float64() < s.plan.DuplicateFrame:
+		s.buf = append(s.buf, frame...)
+		s.buf = append(s.buf, frame...)
+		if s.held != nil {
+			s.buf = append(s.buf, s.held...)
+			s.held = nil
+		}
+	case s.rng.Float64() < s.plan.ReorderFrame && s.held == nil:
+		s.held = frame
+	default:
+		s.buf = append(s.buf, frame...)
+		if s.held != nil {
+			s.buf = append(s.buf, s.held...)
+			s.held = nil
+		}
+	}
+}
+
+// chaosWriter mangles outbound frames. EncodeWire writes one complete
+// newline-terminated frame per call, so each Write is treated as one
+// frame; writes that are not whole frames pass through untouched.
+type chaosWriter struct {
+	conn   net.Conn
+	plan   ChaosPlan
+	rng    *rand.Rand
+	frames int
+	dead   error
+}
+
+func (s *chaosWriter) Write(p []byte) (int, error) {
+	if s.dead != nil {
+		return 0, s.dead
+	}
+	if len(p) == 0 || p[len(p)-1] != '\n' {
+		return s.conn.Write(p)
+	}
+	s.frames++
+	if s.plan.Delay > 0 {
+		time.Sleep(time.Duration(s.rng.Int63n(int64(s.plan.Delay) + 1)))
+	}
+	switch {
+	case s.rng.Float64() < s.plan.DropFrame:
+		s.dead = ErrChaosDrop
+		return 0, s.dead
+	case s.rng.Float64() < s.plan.TruncateFrame:
+		s.conn.Write(p[:len(p)/2])
+		s.conn.Close() // the receiver sees the tear as ErrTruncatedFrame
+		s.dead = ErrTruncatedFrame
+		return 0, s.dead
+	case s.rng.Float64() < s.plan.DuplicateFrame:
+		if _, err := s.conn.Write(p); err != nil {
+			return 0, err
+		}
+		if _, err := s.conn.Write(p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	default:
+		if _, err := s.conn.Write(p); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+}

@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -113,6 +116,39 @@ func (r *Registry) All() []Workload {
 		out[i] = r.m[id]
 	}
 	return out
+}
+
+// Versions maps every registered workload ID to its declared kernel
+// version ("" for unversioned workloads) — the identity the remote
+// handshake exchanges, so a version mismatch can be reported naming the
+// workload and both versions.
+func (r *Registry) Versions() map[string]string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	m := make(map[string]string, len(r.m))
+	for id, w := range r.m {
+		m[id] = VersionOf(w)
+	}
+	return m
+}
+
+// Fingerprint condenses the registry contents — every workload ID and
+// kernel version, in deterministic order — into a short stable hash.
+// Two processes with equal fingerprints resolve every workload ID to
+// the same kernel at the same version, which is what lets a sweep trust
+// results computed by a remote worker.
+func (r *Registry) Fingerprint() string {
+	ids := r.IDs()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h := sha256.New()
+	for _, id := range ids {
+		io.WriteString(h, id)
+		h.Write([]byte{0})
+		io.WriteString(h, VersionOf(r.m[id]))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // Len reports the number of registered workloads.

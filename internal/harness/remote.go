@@ -1,0 +1,432 @@
+package harness
+
+// RemoteExecutor fans sweep jobs out over TCP to `hpcc worker -listen`
+// processes — the fleet manager for the paper's many-machines-one-
+// program model over commodity networking. It speaks the same JSONL
+// wire as ShardExecutor but pipelines a small window of jobs per
+// connection, so the per-message handshake latency the PC-cluster work
+// identifies as the real cost is paid once per connection, not once per
+// job.
+//
+// Failure model: workers are expendable, jobs are not. Any transport
+// fault — dial failure, refused handshake, torn frame, protocol breach,
+// missed heartbeat — evicts the worker, and the jobs it stranded
+// (dispatched-but-unanswered plus still-queued) are re-dispatched to
+// survivors, up to a bounded number of send attempts per job. Workload
+// errors are the opposite: deterministic kernels fail the same way
+// everywhere, so a job that *answered* with an error is never retried —
+// it fails the sweep exactly as it would under LocalExecutor. Results
+// reassemble through the same write-once assembler as every other
+// executor, which is what keeps remote output byte-identical.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// RemoteExecutor implements Executor across remote worker processes.
+// Addrs is the only required field.
+type RemoteExecutor struct {
+	// Addrs are the worker addresses (host:port) to dial.
+	Addrs []string
+	// Registry resolves workload IDs and provides the handshake
+	// identity; nil means the Default registry.
+	Registry *Registry
+	// MaxAttempts bounds how many times one job may be *sent* before a
+	// worker death fails it for good; < 1 means 3.
+	MaxAttempts int
+	// Window is the per-worker pipeline depth; < 1 means 2.
+	Window int
+	// HeartbeatTimeout is how long a silent connection (no result, no
+	// heartbeat) lives before eviction; <= 0 means
+	// DefaultHeartbeatTimeout.
+	HeartbeatTimeout time.Duration
+	// HandshakeTimeout bounds dial-to-hello; <= 0 means
+	// DefaultHandshakeTimeout.
+	HandshakeTimeout time.Duration
+	// Dial overrides the transport; nil means plain TCP. Tests inject
+	// fault-laden connections here (see chaos.go).
+	Dial func(ctx context.Context, addr string) (net.Conn, error)
+	// Stderr receives eviction notes; nil discards them.
+	Stderr io.Writer
+}
+
+func (e *RemoteExecutor) reg() *Registry {
+	if e.Registry != nil {
+		return e.Registry
+	}
+	return Default
+}
+
+func (e *RemoteExecutor) maxAttempts() int {
+	if e.MaxAttempts >= 1 {
+		return e.MaxAttempts
+	}
+	return 3
+}
+
+func (e *RemoteExecutor) window() int {
+	if e.Window >= 1 {
+		return e.Window
+	}
+	return 2
+}
+
+func (e *RemoteExecutor) heartbeatTimeout() time.Duration {
+	if e.HeartbeatTimeout > 0 {
+		return e.HeartbeatTimeout
+	}
+	return DefaultHeartbeatTimeout
+}
+
+func (e *RemoteExecutor) handshakeTimeout() time.Duration {
+	if e.HandshakeTimeout > 0 {
+		return e.HandshakeTimeout
+	}
+	return DefaultHandshakeTimeout
+}
+
+// remoteSweep is one Execute call's shared state. One mutex guards all
+// of it; workers block on cond when they have neither queued work nor
+// outstanding responses to wait for.
+type remoteSweep struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	jobs  []Job
+	addrs []string
+
+	queues    [][]int // per-worker job queues: pop front to run, steal from back
+	attempts  []int   // sends so far, per job
+	done      []bool  // completed or failed for good
+	errs      []error // per-job root causes, sweepErr picks the winner
+	remaining int     // jobs not yet done
+	live      []bool
+	liveCount int
+
+	asm         *assembler
+	stderr      io.Writer
+	maxAttempts int
+}
+
+// Execute implements Executor across the remote fleet. Jobs start
+// round-robin across workers; idle workers steal queued jobs from the
+// back of the longest surviving queue, so a slow node sheds work it has
+// not yet been sent.
+func (e *RemoteExecutor) Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error) {
+	if len(e.Addrs) == 0 {
+		return nil, errors.New("harness: remote executor has no worker addresses")
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	s := &remoteSweep{
+		ctx:         ctx,
+		cancel:      cancel,
+		jobs:        jobs,
+		addrs:       e.Addrs,
+		queues:      make([][]int, len(e.Addrs)),
+		attempts:    make([]int, len(jobs)),
+		done:        make([]bool, len(jobs)),
+		errs:        make([]error, len(jobs)),
+		remaining:   len(jobs),
+		live:        make([]bool, len(e.Addrs)),
+		liveCount:   len(e.Addrs),
+		asm:         newAssembler(len(jobs), emit),
+		stderr:      e.Stderr,
+		maxAttempts: e.maxAttempts(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := range jobs {
+		w := i % len(e.Addrs)
+		s.queues[w] = append(s.queues[w], i)
+	}
+	for w := range s.live {
+		s.live[w] = true
+	}
+	// Cancellation must wake workers parked in cond.Wait.
+	stop := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer stop()
+
+	var wg sync.WaitGroup
+	for w := range e.Addrs {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.runWorker(ctx, s, w)
+		}(w)
+	}
+	wg.Wait()
+
+	return s.asm.completed(), sweepErr(ctx, s.errs, nil)
+}
+
+// connect dials addr and performs the hello exchange. A worker whose
+// registry fingerprint or kernel versions disagree is refused here, at
+// connect time, before any job is risked on it.
+func (e *RemoteExecutor) connect(ctx context.Context, addr string) (net.Conn, *frameReader, error) {
+	dial := e.Dial
+	if dial == nil {
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dial %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Now().Add(e.handshakeTimeout()))
+	local := HelloFor(e.reg(), RoleExecutor)
+	if err := EncodeWire(conn, local); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("%s: send hello: %w", addr, err)
+	}
+	// The frame reader buffers, so the handshake and everything after it
+	// must come through the same instance.
+	fr := newFrameReader(conn)
+	line, err := fr.next()
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("%s: read hello: %w", addr, err)
+	}
+	remote, err := DecodeWireHello(line)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("%s: %w", addr, err)
+	}
+	if err := CheckHello(local, remote); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("worker %s refused: %w", addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	return conn, fr, nil
+}
+
+// takeAction is what take tells a worker to do next.
+type takeAction int
+
+const (
+	takeJob   takeAction = iota // run the returned job index
+	takeDrain                   // nothing to send; wait for outstanding responses
+	takeDone                    // sweep over (or cancelled); exit cleanly
+)
+
+// take hands worker w its next job index: the front of its own queue,
+// else stolen from the back of the longest surviving queue. With no
+// queued work anywhere it drains (if w still has responses in flight)
+// or waits until either work appears or the sweep ends. Taking a job
+// charges one send attempt.
+func (s *remoteSweep) take(w int, outstanding int) (int, takeAction) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.ctx.Err() != nil || s.remaining == 0 {
+			return 0, takeDone
+		}
+		if len(s.queues[w]) > 0 {
+			i := s.queues[w][0]
+			s.queues[w] = s.queues[w][1:]
+			s.attempts[i]++
+			return i, takeJob
+		}
+		// Steal from the back of the longest live queue.
+		victim, max := -1, 0
+		for v := range s.queues {
+			if v != w && s.live[v] && len(s.queues[v]) > max {
+				victim, max = v, len(s.queues[v])
+			}
+		}
+		if victim >= 0 {
+			q := s.queues[victim]
+			i := q[len(q)-1]
+			s.queues[victim] = q[:len(q)-1]
+			s.attempts[i]++
+			return i, takeJob
+		}
+		if outstanding > 0 {
+			return 0, takeDrain
+		}
+		s.cond.Wait()
+	}
+}
+
+// fail records a permanent per-job failure (workload error, nil
+// workload, exhausted retries) and cancels the sweep, exactly as the
+// other executors do.
+func (s *remoteSweep) fail(i int, workloadID string, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failLocked(i, workloadID, err)
+	s.cond.Broadcast()
+}
+
+func (s *remoteSweep) failLocked(i int, workloadID string, err error) {
+	if s.done[i] {
+		return
+	}
+	s.errs[i] = &JobError{Index: i, WorkloadID: workloadID, Err: err}
+	s.done[i] = true
+	s.remaining--
+	s.cancel()
+}
+
+// complete lands job i's result.
+func (s *remoteSweep) complete(i int, res Result) {
+	s.mu.Lock()
+	if s.done[i] {
+		s.mu.Unlock()
+		return
+	}
+	s.done[i] = true
+	s.remaining--
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.asm.complete(i, res)
+}
+
+// evict retires worker w after cause and re-dispatches every job it
+// stranded: the responses it still owed (tracker's outstanding set)
+// plus its unsent queue. A job out of send attempts, or stranded with
+// no surviving workers, fails for good instead.
+func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.live[w] {
+		return
+	}
+	s.live[w] = false
+	s.liveCount--
+	orphans := append(tracker.pending(), s.queues[w]...)
+	s.queues[w] = nil
+	defer s.cond.Broadcast()
+	if s.ctx.Err() != nil {
+		// The sweep is already being torn down; transport errors here are
+		// victims of the cancellation, not root causes.
+		return
+	}
+	if s.stderr != nil {
+		fmt.Fprintf(s.stderr, "hpcc remote: worker %s evicted (%v); re-dispatching %d job(s)\n",
+			s.addrs[w], cause, len(orphans))
+	}
+	for _, i := range orphans {
+		if s.done[i] {
+			continue
+		}
+		wid := ""
+		if s.jobs[i].Workload != nil {
+			wid = s.jobs[i].Workload.ID()
+		}
+		switch {
+		case s.attempts[i] >= s.maxAttempts:
+			s.failLocked(i, wid, fmt.Errorf("re-dispatch budget exhausted after %d attempts (last worker %s: %v)",
+				s.attempts[i], s.addrs[w], cause))
+		case s.liveCount == 0:
+			s.failLocked(i, wid, fmt.Errorf("no live workers remain (worker %s: %v)", s.addrs[w], cause))
+		default:
+			// Requeue at the front of the shortest surviving queue so
+			// retried jobs run ahead of fresh ones.
+			best, bestLen := -1, 0
+			for v := range s.queues {
+				if s.live[v] && (best < 0 || len(s.queues[v]) < bestLen) {
+					best, bestLen = v, len(s.queues[v])
+				}
+			}
+			s.queues[best] = append([]int{i}, s.queues[best]...)
+		}
+	}
+}
+
+// runWorker owns one connection for the life of the sweep: top up the
+// pipeline window, then block for one frame (result or heartbeat) and
+// react. Every exit path other than clean completion goes through
+// evict, so no job index is ever lost with the connection.
+func (e *RemoteExecutor) runWorker(ctx context.Context, s *remoteSweep, w int) {
+	tracker := newResponseTracker(len(s.jobs))
+	conn, fr, err := e.connect(ctx, s.addrs[w])
+	if err != nil {
+		s.evict(w, tracker, err)
+		return
+	}
+	defer conn.Close()
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	window := e.window()
+	hbTimeout := e.heartbeatTimeout()
+	for {
+		// Top up the window.
+		for len(tracker.outstanding) < window {
+			i, act := s.take(w, len(tracker.outstanding))
+			if act == takeDone {
+				return
+			}
+			if act == takeDrain {
+				break
+			}
+			job := s.jobs[i]
+			if job.Workload == nil {
+				s.fail(i, "", errors.New("nil workload"))
+				continue
+			}
+			tracker.sent(i)
+			wj := WireJob{Index: i, WorkloadID: job.Workload.ID(), Params: job.Params}
+			if err := EncodeWire(conn, wj); err != nil {
+				s.evict(w, tracker, fmt.Errorf("send job %d: %w", i, err))
+				return
+			}
+		}
+		if len(tracker.outstanding) == 0 {
+			continue
+		}
+
+		// Wait for one frame; worker heartbeats arrive every
+		// DefaultHeartbeatInterval, so a silent connection is a dead one.
+		conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		line, err := fr.next()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				err = fmt.Errorf("no heartbeat within %v", hbTimeout)
+			}
+			s.evict(w, tracker, fmt.Errorf("awaiting %v: %w", tracker.pending(), err))
+			return
+		}
+		resp, err := DecodeWireResponse(line)
+		if err != nil {
+			s.evict(w, tracker, err)
+			return
+		}
+		if resp.Heartbeat {
+			continue
+		}
+		if err := tracker.answer(resp.Index); err != nil {
+			s.evict(w, tracker, err)
+			return
+		}
+		i := resp.Index
+		if resp.Error != "" {
+			s.fail(i, s.jobs[i].Workload.ID(), errors.New(resp.Error))
+			continue
+		}
+		res := *resp.Result
+		if res.WorkloadID == "" {
+			res.WorkloadID = s.jobs[i].Workload.ID()
+		}
+		s.complete(i, res)
+	}
+}

@@ -156,7 +156,7 @@ func (e *ShardExecutor) runShard(ctx context.Context, cancel func(), shard int, 
 		cmd.Wait()
 	}()
 
-	sc := newWireScanner(stdout)
+	fr := newFrameReader(stdout)
 	for {
 		var i int
 		select {
@@ -191,9 +191,12 @@ func (e *ShardExecutor) runShard(ctx context.Context, cancel func(), shard int, 
 			fail(fmt.Errorf("shard %d: send job: %w", shard, err))
 			return nil
 		}
-		if !sc.Scan() {
-			readErr := sc.Err()
-			if readErr == nil {
+		line, readErr := fr.next()
+		if readErr != nil {
+			// A clean EOF here is still a protocol failure — the worker
+			// owed an answer; ErrTruncatedFrame means it died mid-write
+			// and the tear is reported as such instead of being parsed.
+			if errors.Is(readErr, io.EOF) {
 				readErr = io.ErrUnexpectedEOF
 			}
 			// Snapshot cancellation state before cancelling ourselves,
@@ -214,7 +217,7 @@ func (e *ShardExecutor) runShard(ctx context.Context, cancel func(), shard int, 
 			errs[i] = &JobError{Index: i, WorkloadID: id, Err: err}
 			return nil
 		}
-		wr, err := DecodeWireResult(sc.Bytes())
+		wr, err := DecodeWireResult(line)
 		if err != nil {
 			fail(fmt.Errorf("shard %d: %w", shard, err))
 			return nil

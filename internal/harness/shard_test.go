@@ -17,6 +17,7 @@ import (
 //
 //	serve — a faithful worker over shardTestRegistry
 //	crash — reads one job line, then dies without answering
+//	torn  — reads one job line, writes half a result line, then dies
 const shardWorkerEnv = "HARNESS_TEST_WORKER"
 
 // shardTestRegistry is the workload set both sides of the shard tests
@@ -57,6 +58,10 @@ func TestMain(m *testing.M) {
 		os.Exit(0)
 	case "crash":
 		bufio.NewScanner(os.Stdin).Scan()
+		os.Exit(3)
+	case "torn":
+		bufio.NewScanner(os.Stdin).Scan()
+		os.Stdout.WriteString(`{"index":0,"result":{"workload`)
 		os.Exit(3)
 	}
 	os.Exit(m.Run())
@@ -196,6 +201,27 @@ func TestShardWorkerCrashMapsToInFlightJob(t *testing.T) {
 	}
 	if len(results) != 0 {
 		t.Fatalf("crash still produced results: %v", results)
+	}
+}
+
+func TestShardTornResultLineIsTruncationNotSilence(t *testing.T) {
+	// A worker that dies mid-write leaves a torn final line. The old line
+	// scanner dropped the fragment silently; the frame reader must name
+	// the truncation in the in-flight job's error.
+	jobs := shardEchoJobs(t, 2)
+	_, err := testShardExecutor(1, "torn").Execute(context.Background(), jobs, nil)
+	if err == nil {
+		t.Fatal("torn result line reported no error")
+	}
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("want *JobError, got %T: %v", err, err)
+	}
+	if je.Index != 0 {
+		t.Fatalf("tear mapped to job %d, want in-flight job 0", je.Index)
+	}
+	if !strings.Contains(err.Error(), "truncated wire frame") {
+		t.Fatalf("tear not named as truncation: %v", err)
 	}
 }
 

@@ -1,21 +1,35 @@
 package harness
 
-// The JSONL wire protocol between a sharding sweep engine and its child
-// worker processes. A parent (ShardExecutor, shard.go) writes one
-// WireJob per line to a worker's stdin; the worker (ServeWorker — the
-// `hpcc worker` subcommand) answers each with one WireResult line on
-// stdout. The protocol is strictly request/response per worker: a worker
-// handles one job at a time, so the parent always knows which job index
-// an answer — or a crash — belongs to. Workloads travel by registry ID,
-// so both sides must be built with the same workloads registered.
+// The JSONL wire protocol between a sweep engine and its workers. A
+// parent writes one WireJob per line; the worker answers each with one
+// WireResult line. Two transports speak it:
+//
+//   - ShardExecutor (shard.go) over a child process's stdin/stdout,
+//     strictly request/response per worker: one job at a time, so the
+//     parent always knows which job index an answer — or a crash —
+//     belongs to.
+//   - RemoteExecutor (remote.go) over TCP to `hpcc worker -listen`
+//     processes. The connection opens with a WireHello handshake (both
+//     sides exchange registry fingerprints and kernel versions; a
+//     mismatched worker is refused), responses travel as WireResponse
+//     frames (a WireResult or a heartbeat) in completion order, and a
+//     responseTracker holds every answer to the outstanding-request set
+//     so duplicated, out-of-range or unsolicited indexes are protocol
+//     breaches rather than silent corruption.
+//
+// Workloads travel by registry ID, so both sides must be built with the
+// same workloads registered — that is exactly what the handshake checks.
 
 import (
 	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"sort"
+	"strings"
 )
 
 // WireJob is one serialized sweep job: the line a sharding parent writes
@@ -83,53 +97,290 @@ func DecodeWireResult(line []byte) (WireResult, error) {
 	return r, nil
 }
 
-// newWireScanner sizes a line scanner for wire traffic: results carry
-// whole rendered exhibits, so lines run far past bufio's default cap.
-func newWireScanner(r io.Reader) *bufio.Scanner {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
-	return sc
+// maxWireFrame caps one frame's size: results carry whole rendered
+// exhibits, so frames run far past a default line buffer, but an
+// unterminated gigabyte is a broken peer, not a big result.
+const maxWireFrame = 1 << 26
+
+// ErrTruncatedFrame reports a stream that ended in the middle of a
+// frame: the final line had no terminating newline, so its bytes cannot
+// be trusted to be the whole message. A line scanner would hand the
+// fragment over as if it were complete (and silently drop the loss when
+// the fragment happens not to parse); the frame reader makes the tear
+// explicit so transports can map it onto the in-flight job.
+var ErrTruncatedFrame = errors.New("harness: truncated wire frame")
+
+// frameReader reads newline-delimited wire frames. It is the one
+// decoder both executors and workers read the protocol through:
+// complete frames come back without their newline, blank lines are
+// skipped, io.EOF is returned only at a frame boundary, and a stream
+// that ends mid-line fails with ErrTruncatedFrame.
+type frameReader struct {
+	br *bufio.Reader
+}
+
+func newFrameReader(r io.Reader) *frameReader {
+	return &frameReader{br: bufio.NewReaderSize(r, 64*1024)}
+}
+
+// next returns the next non-blank frame.
+func (fr *frameReader) next() ([]byte, error) {
+	var buf []byte
+	for {
+		chunk, err := fr.br.ReadSlice('\n')
+		buf = append(buf, chunk...)
+		if len(buf) > maxWireFrame {
+			return nil, fmt.Errorf("harness: wire frame exceeds %d bytes", maxWireFrame)
+		}
+		switch {
+		case err == nil:
+			line := bytes.TrimSpace(buf)
+			if len(line) == 0 {
+				buf = buf[:0]
+				continue
+			}
+			return line, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF):
+			if len(bytes.TrimSpace(buf)) == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("%w (stream ended %d bytes into an unterminated line)", ErrTruncatedFrame, len(buf))
+		default:
+			return nil, err
+		}
+	}
+}
+
+// runWireJob executes one wire job against reg and packages the outcome
+// as the WireResult to send back: a per-job failure (unknown ID,
+// workload error) travels as a result line carrying Error, never as a
+// worker death.
+func runWireJob(ctx context.Context, reg *Registry, job WireJob) WireResult {
+	out := WireResult{Index: job.Index}
+	wl, err := reg.Lookup(job.WorkloadID)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	res, err := wl.Run(ctx, job.Params)
+	if err != nil {
+		out.Error = err.Error()
+		return out
+	}
+	if res.WorkloadID == "" {
+		res.WorkloadID = wl.ID()
+	}
+	out.Result = &res
+	return out
 }
 
 // ServeWorker runs the worker side of the shard protocol: it reads
 // WireJob lines from r until EOF, resolves each workload in reg, runs
-// it, and answers with a WireResult line on w — a per-job failure
-// (unknown ID, workload error) travels back as a result line, not a
-// worker death. A malformed job line is a protocol breach and kills the
-// worker with an error; the parent maps the death onto the in-flight
-// job. This is what `hpcc worker` runs.
+// it, and answers with a WireResult line on w. A malformed or truncated
+// job line is a protocol breach and kills the worker with an error; the
+// parent maps the death onto the in-flight job. This is what
+// `hpcc worker` (without -listen) runs.
 func ServeWorker(ctx context.Context, reg *Registry, r io.Reader, w io.Writer) error {
-	sc := newWireScanner(r)
-	for sc.Scan() {
+	fr := newFrameReader(r)
+	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
+		line, err := fr.next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("harness: worker read jobs: %w", err)
 		}
 		job, err := DecodeWireJob(line)
 		if err != nil {
 			return err
 		}
-		out := WireResult{Index: job.Index}
-		wl, err := reg.Lookup(job.WorkloadID)
-		if err != nil {
-			out.Error = err.Error()
-		} else if res, err := wl.Run(ctx, job.Params); err != nil {
-			out.Error = err.Error()
-		} else {
-			if res.WorkloadID == "" {
-				res.WorkloadID = wl.ID()
-			}
-			out.Result = &res
-		}
-		if err := EncodeWire(w, out); err != nil {
+		if err := EncodeWire(w, runWireJob(ctx, reg, job)); err != nil {
 			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("harness: worker read jobs: %w", err)
+}
+
+// WireProto identifies the handshake revision RemoteExecutor and the
+// remote worker speak. Bump it when the connection-level protocol (not
+// the job payloads) changes incompatibly.
+const WireProto = 1
+
+// Handshake roles, recorded in WireHello.Role for diagnostics.
+const (
+	RoleExecutor = "executor"
+	RoleWorker   = "worker"
+)
+
+// WireHello is the first frame each side of a remote connection sends:
+// the protocol revision plus the identity of its workload registry —
+// the condensed fingerprint and the full id → kernel-version map, so a
+// mismatch can be reported naming the exact workloads and versions that
+// disagree instead of just two opaque hashes.
+type WireHello struct {
+	Proto       int               `json:"proto"`
+	Role        string            `json:"role,omitempty"`
+	Fingerprint string            `json:"fingerprint"`
+	Workloads   map[string]string `json:"workloads,omitempty"`
+}
+
+// HelloFor builds the hello one side of a connection announces for its
+// registry.
+func HelloFor(reg *Registry, role string) WireHello {
+	return WireHello{
+		Proto:       WireProto,
+		Role:        role,
+		Fingerprint: reg.Fingerprint(),
+		Workloads:   reg.Versions(),
 	}
+}
+
+// DecodeWireHello parses and validates one WireHello line.
+func DecodeWireHello(line []byte) (WireHello, error) {
+	var h WireHello
+	if err := json.Unmarshal(line, &h); err != nil {
+		return WireHello{}, fmt.Errorf("harness: decode wire hello: %w", err)
+	}
+	if h.Proto < 1 {
+		return WireHello{}, fmt.Errorf("harness: wire hello has no protocol revision (got %d)", h.Proto)
+	}
+	if h.Fingerprint == "" {
+		return WireHello{}, errors.New("harness: wire hello has no registry fingerprint")
+	}
+	return h, nil
+}
+
+// CheckHello decides whether two handshakes are compatible. Workloads
+// travel by registry ID and results are trusted as pure functions of
+// (ID, Params, kernel version), so the registries must agree exactly; a
+// worker built from older code would silently compute different numbers.
+// The error names the disagreeing workloads and both kernel versions.
+func CheckHello(local, remote WireHello) error {
+	if local.Proto != remote.Proto {
+		return fmt.Errorf("harness: wire protocol mismatch: local proto %d, remote proto %d", local.Proto, remote.Proto)
+	}
+	if local.Fingerprint == remote.Fingerprint {
+		return nil
+	}
+	diffs := helloDiffs(local.Workloads, remote.Workloads)
+	if len(diffs) == 0 {
+		// Fingerprints disagree but the exchanged maps do not pin down
+		// why (e.g. a peer that omitted its workload map).
+		return fmt.Errorf("harness: registry fingerprint mismatch: local %s, remote %s", local.Fingerprint, remote.Fingerprint)
+	}
+	const maxListed = 4
+	listed := diffs
+	if len(listed) > maxListed {
+		listed = append(listed[:maxListed:maxListed], fmt.Sprintf("... %d more", len(diffs)-maxListed))
+	}
+	return fmt.Errorf("harness: registry mismatch (fingerprint local %s, remote %s): %s",
+		local.Fingerprint, remote.Fingerprint, strings.Join(listed, "; "))
+}
+
+// helloDiffs walks the union of two id → version maps and describes
+// every disagreement.
+func helloDiffs(local, remote map[string]string) []string {
+	ids := make(map[string]bool, len(local)+len(remote))
+	for id := range local {
+		ids[id] = true
+	}
+	for id := range remote {
+		ids[id] = true
+	}
+	sorted := make([]string, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Strings(sorted)
+	var diffs []string
+	for _, id := range sorted {
+		lv, lok := local[id]
+		rv, rok := remote[id]
+		switch {
+		case lok && !rok:
+			diffs = append(diffs, fmt.Sprintf("workload %s not registered on the remote worker", id))
+		case !lok && rok:
+			diffs = append(diffs, fmt.Sprintf("workload %s only registered on the remote worker", id))
+		case lv != rv:
+			diffs = append(diffs, fmt.Sprintf("workload %s: local version %q, remote version %q", id, lv, rv))
+		}
+	}
+	return diffs
+}
+
+// WireResponse is one frame of a remote worker's response stream:
+// either a heartbeat (proof of life while long jobs run) or a
+// WireResult. The result fields embed flat, so a non-heartbeat frame is
+// byte-compatible with the stdin/stdout worker's WireResult lines.
+type WireResponse struct {
+	Heartbeat bool `json:"heartbeat,omitempty"`
+	WireResult
+}
+
+// DecodeWireResponse parses one response frame; result validation is
+// skipped for heartbeats, which carry no payload.
+func DecodeWireResponse(line []byte) (WireResponse, error) {
+	var r WireResponse
+	if err := json.Unmarshal(line, &r); err != nil {
+		return WireResponse{}, fmt.Errorf("harness: decode wire response: %w", err)
+	}
+	if r.Heartbeat {
+		return WireResponse{Heartbeat: true}, nil
+	}
+	wr, err := DecodeWireResult(line)
+	if err != nil {
+		return WireResponse{}, err
+	}
+	return WireResponse{WireResult: wr}, nil
+}
+
+// responseTracker holds one worker stream's answers to its questions:
+// every response index must match exactly one outstanding request.
+// Duplicated, already-answered, out-of-range and never-sent indexes are
+// protocol breaches — the caller evicts the worker rather than letting
+// a bad frame complete (or re-complete) someone else's job.
+type responseTracker struct {
+	n           int
+	outstanding map[int]bool
+	answered    map[int]bool
+}
+
+func newResponseTracker(n int) *responseTracker {
+	return &responseTracker{n: n, outstanding: make(map[int]bool), answered: make(map[int]bool)}
+}
+
+// sent records that job i was dispatched on this stream.
+func (t *responseTracker) sent(i int) {
+	t.outstanding[i] = true
+}
+
+// answer validates a response index and retires it.
+func (t *responseTracker) answer(i int) error {
+	if i < 0 || i >= t.n {
+		return fmt.Errorf("harness: wire result index %d out of range [0,%d)", i, t.n)
+	}
+	if !t.outstanding[i] {
+		if t.answered[i] {
+			return fmt.Errorf("harness: duplicate wire result for job %d", i)
+		}
+		return fmt.Errorf("harness: unsolicited wire result for job %d (never dispatched on this connection)", i)
+	}
+	delete(t.outstanding, i)
+	t.answered[i] = true
 	return nil
+}
+
+// pending returns the dispatched-but-unanswered job indexes, sorted —
+// the set a dying worker strands, which the executor re-dispatches.
+func (t *responseTracker) pending() []int {
+	out := make([]int, 0, len(t.outstanding))
+	for i := range t.outstanding {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
 }

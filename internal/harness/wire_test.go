@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"io"
 	"strings"
 	"testing"
 )
@@ -156,5 +157,174 @@ func TestServeWorkerStampsWorkloadID(t *testing.T) {
 	}
 	if r.Result == nil || r.Result.WorkloadID != "w/anon" {
 		t.Fatalf("worker did not stamp the workload ID: %+v", r)
+	}
+}
+
+func TestFrameReaderTruncatedTrailingFrame(t *testing.T) {
+	// A stream that ends mid-line must fail loudly: under the old line
+	// scanner a torn final frame was silently dropped (or worse, parsed).
+	fr := newFrameReader(strings.NewReader(`{"index":0,"result":{"workl`))
+	if _, err := fr.next(); !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("torn trailing frame: got %v, want ErrTruncatedFrame", err)
+	}
+}
+
+func TestFrameReaderEOFOnlyAtBoundary(t *testing.T) {
+	fr := newFrameReader(strings.NewReader("{\"a\":1}\n{\"b\":2}\n"))
+	for i := 0; i < 2; i++ {
+		if _, err := fr.next(); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, err := fr.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("at boundary: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderSkipsBlankLinesAndTrailingWhitespace(t *testing.T) {
+	fr := newFrameReader(strings.NewReader("\n\n  \n{\"a\":1}\r\n\n"))
+	line, err := fr.next()
+	if err != nil || string(line) != `{"a":1}` {
+		t.Fatalf("got %q, %v", line, err)
+	}
+	if _, err := fr.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("after blanks: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderHandlesFramesLargerThanBuffer(t *testing.T) {
+	big := strings.Repeat("x", 200*1024) // larger than the 64 KiB read buffer
+	fr := newFrameReader(strings.NewReader(big + "\n"))
+	line, err := fr.next()
+	if err != nil || len(line) != len(big) {
+		t.Fatalf("got %d bytes, %v; want %d", len(line), err, len(big))
+	}
+}
+
+func TestFrameReaderRejectsOversizedFrame(t *testing.T) {
+	// An endless unterminated line must fail at the cap, not OOM.
+	fr := newFrameReader(io.LimitReader(zeroReader{}, maxWireFrame+1024))
+	if _, err := fr.next(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+}
+
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'z'
+	}
+	return len(p), nil
+}
+
+func TestResponseTrackerConformance(t *testing.T) {
+	tr := newResponseTracker(4)
+	tr.sent(1)
+	tr.sent(3)
+	if err := tr.answer(1); err != nil {
+		t.Fatalf("valid answer rejected: %v", err)
+	}
+	if err := tr.answer(1); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate index: got %v", err)
+	}
+	if err := tr.answer(7); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("out-of-range index: got %v", err)
+	}
+	if err := tr.answer(-1); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("negative index: got %v", err)
+	}
+	if err := tr.answer(2); err == nil || !strings.Contains(err.Error(), "unsolicited") {
+		t.Fatalf("never-sent index: got %v", err)
+	}
+	if got := tr.pending(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("pending = %v, want [3]", got)
+	}
+}
+
+func TestWireHelloRoundTripAndCheck(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(echo("h/echo")); err != nil {
+		t.Fatal(err)
+	}
+	h := HelloFor(reg, RoleWorker)
+	if h.Proto != WireProto || h.Fingerprint == "" || h.Workloads["h/echo"] != "" {
+		t.Fatalf("bad hello: %+v", h)
+	}
+	var buf bytes.Buffer
+	if err := EncodeWire(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeWireHello(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHello(HelloFor(reg, RoleExecutor), out); err != nil {
+		t.Fatalf("same registry refused: %v", err)
+	}
+}
+
+func TestDecodeWireHelloRejectsInvalid(t *testing.T) {
+	for _, tc := range []struct{ name, line string }{
+		{"garbage", "nope"},
+		{"no proto", `{"fingerprint":"abc"}`},
+		{"no fingerprint", `{"proto":1}`},
+	} {
+		if _, err := DecodeWireHello([]byte(tc.line)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCheckHelloMismatches(t *testing.T) {
+	mk := func(ids map[string]string) WireHello {
+		reg := NewRegistry()
+		for id, v := range ids {
+			s := echo(id)
+			s.Version = v
+			if err := reg.Register(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return HelloFor(reg, RoleWorker)
+	}
+	local := mk(map[string]string{"w/a": "v1", "w/b": ""})
+
+	if err := CheckHello(local, mk(map[string]string{"w/a": "v2", "w/b": ""})); err == nil {
+		t.Fatal("version skew accepted")
+	} else {
+		for _, want := range []string{"w/a", `local version "v1"`, `remote version "v2"`} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("version-skew error missing %q: %v", want, err)
+			}
+		}
+	}
+
+	if err := CheckHello(local, mk(map[string]string{"w/a": "v1"})); err == nil ||
+		!strings.Contains(err.Error(), "w/b not registered on the remote worker") {
+		t.Fatalf("missing-workload error unclear: %v", err)
+	}
+
+	wrongProto := mk(map[string]string{"w/a": "v1", "w/b": ""})
+	wrongProto.Proto = WireProto + 1
+	if err := CheckHello(local, wrongProto); err == nil || !strings.Contains(err.Error(), "protocol mismatch") {
+		t.Fatalf("proto-skew error unclear: %v", err)
+	}
+}
+
+func TestDecodeWireResponse(t *testing.T) {
+	hb, err := DecodeWireResponse([]byte(`{"heartbeat":true}`))
+	if err != nil || !hb.Heartbeat {
+		t.Fatalf("heartbeat: %+v, %v", hb, err)
+	}
+	res, err := DecodeWireResponse([]byte(`{"index":2,"error":"boom"}`))
+	if err != nil || res.Heartbeat || res.Index != 2 || res.Error != "boom" {
+		t.Fatalf("result: %+v, %v", res, err)
+	}
+	if _, err := DecodeWireResponse([]byte(`{"index":0}`)); err == nil {
+		t.Fatal("payload-free non-heartbeat accepted")
+	}
+	if _, err := DecodeWireResponse([]byte(`nope`)); err == nil {
+		t.Fatal("garbage accepted")
 	}
 }

@@ -1,0 +1,62 @@
+package store
+
+// Longitudinal queries over the run store: one metric for one workload,
+// followed across snapshots. This is the read side of the paper's own
+// methodology — the exhibits were tracked across machines and years, not
+// measured once — and what `hpcc serve`'s /api/v1/trend endpoint returns.
+
+import "fmt"
+
+// TrendPoint is one snapshot's value of a tracked metric.
+type TrendPoint struct {
+	RunID     string  `json:"run_id"`
+	Tag       string  `json:"tag,omitempty"`
+	Commit    string  `json:"commit,omitempty"`
+	Time      string  `json:"time"`
+	ParamsKey string  `json:"params_key"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+	Unit      string  `json:"unit,omitempty"`
+}
+
+// Trend extracts workloadID's metric from each snapshot, oldest first.
+// An empty metric name selects each record's first metric (the headline
+// number). Snapshots without the workload are skipped; a snapshot with
+// several parameter points for the workload yields one TrendPoint per
+// point, distinguished by ParamsKey. An error means the metric name
+// never matched anywhere — a misspelling, not an empty store.
+func Trend(snaps []Snapshot, workloadID, metric string) ([]TrendPoint, error) {
+	var out []TrendPoint
+	sawWorkload := false
+	for _, snap := range snaps {
+		for _, rec := range snap.Records {
+			if rec.WorkloadID != workloadID {
+				continue
+			}
+			sawWorkload = true
+			for _, m := range rec.Result.Metrics {
+				if metric != "" && m.Name != metric {
+					continue
+				}
+				out = append(out, TrendPoint{
+					RunID:     snap.RunID,
+					Tag:       snap.Tag,
+					Commit:    snap.Commit,
+					Time:      rec.Time.UTC().Format("2006-01-02T15:04:05Z"),
+					ParamsKey: rec.ParamsKey,
+					Metric:    m.Name,
+					Value:     m.Value,
+					Unit:      m.Unit,
+				})
+				break // one metric per record: the named one, or the headline
+			}
+		}
+	}
+	if !sawWorkload {
+		return nil, fmt.Errorf("store: no snapshot records workload %q", workloadID)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("store: workload %q records no metric %q", workloadID, metric)
+	}
+	return out, nil
+}

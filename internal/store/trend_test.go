@@ -1,0 +1,82 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// trendStore builds a store with three snapshots of workload "w" (gflops
+// 10, 11, 12) plus an unrelated workload mixed into each snapshot.
+func trendStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := harness.Params{Quick: true}
+	for i := 0; i < 3; i++ {
+		mustAppend(t, s, Meta{Commit: "aaaa111" + string(rune('0'+i)), Time: at(i)},
+			Entry{Params: p, Result: testResult("w", float64(10+i))},
+			Entry{Params: p, Result: testResult("other", 99)},
+		)
+	}
+	return s
+}
+
+func TestTrendFollowsMetricAcrossSnapshots(t *testing.T) {
+	s := trendStore(t)
+	snaps, err := s.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Trend(snaps, "w", "gflops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points, want 3", len(points))
+	}
+	for i, pt := range points {
+		if pt.Value != float64(10+i) {
+			t.Fatalf("point %d value %v, want %d (oldest first)", i, pt.Value, 10+i)
+		}
+		if pt.Metric != "gflops" || pt.Unit != "GFLOPS" {
+			t.Fatalf("point %d metric %q unit %q", i, pt.Metric, pt.Unit)
+		}
+		if pt.RunID == "" || pt.ParamsKey == "" || pt.Time == "" {
+			t.Fatalf("point %d missing identity: %+v", i, pt)
+		}
+	}
+}
+
+func TestTrendEmptyMetricPicksHeadline(t *testing.T) {
+	s := trendStore(t)
+	snaps, err := s.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := Trend(snaps, "w", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// testResult's first metric is gflops; exactly one point per record.
+	if len(points) != 3 || points[0].Metric != "gflops" {
+		t.Fatalf("headline selection wrong: %+v", points)
+	}
+}
+
+func TestTrendNamesTheMissingThing(t *testing.T) {
+	s := trendStore(t)
+	snaps, err := s.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Trend(snaps, "nope", "gflops"); err == nil || !strings.Contains(err.Error(), `"nope"`) {
+		t.Fatalf("unknown workload error unhelpful: %v", err)
+	}
+	if _, err := Trend(snaps, "w", "watts"); err == nil || !strings.Contains(err.Error(), `"watts"`) {
+		t.Fatalf("unknown metric error unhelpful: %v", err)
+	}
+}
