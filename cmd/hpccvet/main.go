@@ -1,0 +1,211 @@
+// Command hpccvet runs the repo's static-analysis suite
+// (internal/analysis): hpccdet, hpcclock, hpccversion, hpccwire.
+//
+// It speaks two protocols:
+//
+//	hpccvet [-a names] [patterns]       standalone, e.g. hpccvet ./...
+//	go vet -vettool=$PWD/hpccvet ./...  cmd/go's vet-tool protocol
+//
+// The vet-tool protocol (the same one golang.org/x/tools' unitchecker
+// implements) is: cmd/go invokes the tool once with -V=full to fold the
+// tool's identity into its build cache key, once with -flags to learn
+// the tool's flags, and then once per package with a JSON config file
+// argument ending in .cfg that carries the file list, the import map
+// and the export-data locations. The tool must write the (possibly
+// empty) facts file named by VetxOutput, print findings to stderr, and
+// exit 2 when it found anything. cmd/go runs the tool for every package
+// in the build graph including the standard library, so anything
+// outside this module is skipped by ModulePath.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go's handshake calls come before normal flag parsing.
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			printVersion()
+			return 0
+		case "-flags", "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	fs := flag.NewFlagSet("hpccvet", flag.ExitOnError)
+	names := fs.String("a", "", "comma-separated analyzers to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: hpccvet [-a analyzers] [patterns]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(pwd)/hpccvet ./...\n\nanalyzers:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(fs.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := analysis.ByName(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetTool(rest[0], analyzers)
+	}
+	return runStandalone(rest, analyzers)
+}
+
+// printVersion answers -V=full: a line whose content changes whenever
+// the tool binary does, so cmd/go's cache never serves findings from a
+// stale analyzer.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("hpccvet version devel buildID=%x\n", h.Sum(nil)[:12])
+}
+
+// runStandalone loads patterns through go list and analyzes them.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the slice of cmd/go's vet config file the tool reads.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetTool analyzes one package under the vet-tool protocol.
+func runVetTool(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hpccvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hpccvet: parse %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// cmd/go always expects the facts file, even from packages the tool
+	// has nothing to say about.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hpccvet: %v\n", err)
+			return 2
+		}
+	}
+	// The suite's contracts bind this module only; the build graph also
+	// contains std and any vendored modules.
+	if cfg.ModulePath != "repro" || cfg.VetxOnly {
+		return 0
+	}
+	diags, err := analyzeVetPackage(&cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hpccvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func analyzeVetPackage(cfg *vetConfig, analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	fset := token.NewFileSet()
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if filepath.IsAbs(f) {
+			files = append(files, f)
+		} else {
+			files = append(files, filepath.Join(cfg.Dir, f))
+		}
+	}
+	// Test variants list as "pkg [pkg.test]"; the analyzers' scope lists
+	// match on the plain import path.
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i]
+	}
+	pkg, err := analysis.TypeCheck(fset, importPath, cfg.Dir, files, imp, goVersionFor(cfg.GoVersion))
+	if err != nil {
+		return nil, err
+	}
+	return analysis.RunAnalyzers([]*analysis.Package{pkg}, analyzers)
+}
+
+// goVersionFor maps cmd/go's GoVersion value to what go/types accepts:
+// a "goX.Y"-prefixed language version, or empty for the toolchain
+// default.
+func goVersionFor(v string) string {
+	if strings.HasPrefix(v, "go1") {
+		return v
+	}
+	return ""
+}

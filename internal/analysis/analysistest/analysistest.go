@@ -1,0 +1,142 @@
+// Package analysistest runs analyzers over the fixture packages under
+// internal/analysis/testdata/src and checks their findings against
+// `// want "regexp"` comments in the fixture sources — the same
+// convention as golang.org/x/tools' analysistest, rebuilt on the
+// repo's own loader. Fixtures are real, compiling packages (go list
+// resolves them explicitly even though ./... wildcards skip testdata),
+// so every expectation is checked against fully type-checked code.
+package analysistest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// moduleRoot walks up from the test's working directory to the
+// directory holding go.mod, so Run works from any package depth.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// expectation is one `// want` pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the named fixture package (a directory under
+// internal/analysis/testdata/src), applies the analyzers through the
+// full pipeline — including suppression handling — and fails the test
+// on any mismatch between findings and want comments.
+func Run(t *testing.T, fixture string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs := LoadFixture(t, fixture)
+	expects := collectWants(t, pkgs[0])
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("run analyzers on %s: %v", fixture, err)
+	}
+
+	for _, d := range diags {
+		if !claim(expects, d.Pos.Filename, d.Pos.Line, d.Message) {
+			t.Errorf("%s: unexpected finding: %s", fixture, d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s: %s:%d: expected finding matching %q, got none",
+				fixture, filepath.Base(e.file), e.line, e.raw)
+		}
+	}
+}
+
+// LoadFixture loads one fixture package by directory name, for tests
+// that inspect diagnostics directly instead of through want comments.
+func LoadFixture(t *testing.T, fixture string) []*analysis.Package {
+	t.Helper()
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("resolve repo root: %v", err)
+	}
+	pkgs, err := analysis.Load(root, "./internal/analysis/testdata/src/"+fixture)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", fixture, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+	}
+	return pkgs
+}
+
+// collectWants scans the fixture's comments for want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q: no quoted pattern",
+						pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					pat := q[1]
+					if pat == "" {
+						pat = q[2] // backquoted form
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation at (file, line) whose
+// pattern matches the message.
+func claim(expects []*expectation, file string, line int, msg string) bool {
+	for _, e := range expects {
+		if e.matched || e.line != line || e.file != file {
+			continue
+		}
+		if e.re.MatchString(msg) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestDeterminism pins hpccdet against its fixture: wall clocks, the
+// global rand source, and every map-order sink must be flagged, and the
+// sanctioned idioms (seeded rand, collect-then-sort) must not be. The
+// want comments double as the only-fails-without-the-analyzer check: a
+// no-op hpccdet leaves every expectation unmatched.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "determinism", analysis.Determinism)
+}

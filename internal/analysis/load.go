@@ -1,0 +1,177 @@
+package analysis
+
+// The package loader behind `hpccvet <patterns>` and the analysistest
+// harness. golang.org/x/tools is not vendored here, so this is the
+// standard-library equivalent of go/packages' LoadSyntax: `go list
+// -export -deps` supplies every dependency's compiled export data (the
+// go command builds it on demand), the target packages are parsed from
+// source, and go/types checks them against an importer that reads those
+// export files. The result carries everything an Analyzer needs.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the slice of `go list -json` output the loader reads.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepOnly    bool
+}
+
+// Load lists patterns from dir, type-checks every matched non-standard
+// package from source, and returns them ready for analysis. Test files
+// are not loaded: the suite's contracts bind the shipped code, and every
+// transport for test packages (go vet's config mode) feeds files in
+// explicitly instead.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.Standard || p.DepOnly {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		targets = append(targets, p)
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var out []*Package
+	for _, t := range targets {
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := TypeCheck(fset, t.ImportPath, t.Dir, files, imp, "")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -e -export -json -deps patterns` in dir and
+// decodes the JSON stream. -deps marks dependency-only packages with
+// DepOnly, which is how targets are told apart from their imports.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := []string{"list", "-e", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error,DepOnly", "-deps"}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []listedPackage
+	dec := json.NewDecoder(strings.NewReader(string(stdout)))
+	for {
+		var p listedPackage
+		if derr := dec.Decode(&p); errors.Is(derr, io.EOF) {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", derr)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ExportImporter builds a go/types importer that resolves every import
+// from compiled export data, located by the supplied lookup (import path
+// → export file). The gc importer caches packages internally, so one
+// importer is shared across all packages of a load.
+func ExportImporter(fset *token.FileSet, find func(string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := find(path)
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// TypeCheck parses files and type-checks them as one package using imp
+// for every import. It is shared by Load above and by cmd/hpccvet's
+// vet-tool mode, which gets its file list and import map from cmd/go
+// instead of go list.
+func TypeCheck(fset *token.FileSet, importPath, dir string, files []string, imp types.Importer, goVersion string) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(importPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      parsed,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}

@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestLockOrder pins hpcclock against its fixture: self-deadlock,
+// same-owner double locks (direct and through a may-lock callee) and
+// mixed atomic/plain field access are flagged; the hand-off,
+// unlocker-helper, deferred-unlock and closure idioms are not.
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "lockorder", analysis.LockOrder)
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestSuppression pins the //lint:ignore policy: a directive with a
+// reason silences exactly the named analyzer on its own and the next
+// line; naming the wrong analyzer silences nothing.
+func TestSuppression(t *testing.T) {
+	analysistest.Run(t, "suppress", analysis.Determinism)
+}
+
+// TestSuppressionMalformed checks the reason-is-mandatory half: a
+// //lint:ignore with no reason is itself reported and does not silence
+// the finding it sits on. Checked directly because the malformed
+// finding lands on the directive's own comment line, where no trailing
+// want comment can live.
+func TestSuppressionMalformed(t *testing.T) {
+	pkgs := analysistest.LoadFixture(t, "suppressmalformed")
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{analysis.Determinism})
+	if err != nil {
+		t.Fatalf("run analyzers: %v", err)
+	}
+	var gotMalformed, gotClock bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "suppression" && strings.Contains(d.Message, "malformed"):
+			gotMalformed = true
+		case d.Analyzer == "hpccdet" && strings.Contains(d.Message, "wall clock"):
+			gotClock = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotMalformed {
+		t.Errorf("reason-less //lint:ignore was not reported as malformed; got %v", diags)
+	}
+	if !gotClock {
+		t.Errorf("reason-less //lint:ignore silenced the finding it covers; got %v", diags)
+	}
+}

@@ -1,0 +1,26 @@
+// Package suppress is the suppression-policy fixture: //lint:ignore
+// with a reason silences a finding; a directive without a reason is
+// itself a finding.
+//
+//hpcc:deterministic
+package suppress
+
+import "time"
+
+func deadline() time.Time {
+	//lint:ignore hpccdet socket deadlines are wall-clock by definition
+	return time.Now()
+}
+
+func trailing() time.Time {
+	return time.Now() //lint:ignore hpccdet same-line placement also covers
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // want `wall clock time\.Now`
+}
+
+func wrongAnalyzer() time.Time {
+	//lint:ignore hpcclock suppressing the wrong analyzer leaves hpccdet live
+	return time.Now() // want `wall clock time\.Now`
+}

@@ -1,0 +1,16 @@
+// Package suppressmalformed holds a //lint: directive with no reason.
+// The suppression policy makes the reason mandatory, so the directive
+// itself must surface as a "suppression" finding and must NOT silence
+// the wall-clock finding on the next line. Checked directly by
+// TestSuppressionMalformed (the finding lands on the directive's own
+// comment line, where a trailing // want comment cannot live).
+//
+//hpcc:deterministic
+package suppressmalformed
+
+import "time"
+
+func noReason() time.Time {
+	//lint:ignore hpccdet
+	return time.Now()
+}

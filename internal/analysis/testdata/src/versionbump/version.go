@@ -1,0 +1,63 @@
+// Package versionbump is the hpccversion analysistest fixture: a
+// //hpcc:versioned package of harness.Spec kernels exercising the
+// constant-version discipline.
+//
+//hpcc:versioned
+package versionbump
+
+import (
+	"context"
+
+	"repro/internal/harness"
+)
+
+const goodVersion = "fix-3"
+
+var runtimeVersion = computeVersion()
+
+func computeVersion() string { return "v" }
+
+func run(ctx context.Context, p harness.Params) (harness.Result, error) {
+	return harness.Result{}, nil
+}
+
+// Constant versions, directly or through a named constant: fine.
+var ok1 = harness.Spec{WorkloadID: "ok1", RunFunc: run, Version: "v1"}
+var ok2 = harness.Spec{WorkloadID: "ok2", RunFunc: run, Version: goodVersion}
+
+// A Spec with no RunFunc is a descriptor, not a kernel: no version needed.
+var descriptor = harness.Spec{WorkloadID: "meta"}
+
+var missing = harness.Spec{WorkloadID: "missing", RunFunc: run} // want `declares no Version`
+
+var computed = harness.Spec{
+	WorkloadID: "computed",
+	RunFunc:    run,
+	Version:    runtimeVersion, // want `not a compile-time constant`
+}
+
+var empty = harness.Spec{
+	WorkloadID: "empty",
+	RunFunc:    run,
+	Version:    "", // want `empty string`
+}
+
+type kernel struct {
+	v string
+}
+
+// A constant return satisfies the Versioned contract.
+type constKernel struct{}
+
+func (constKernel) WorkloadVersion() string { return "ck-2" }
+
+// A receiver-field pass-through is the harness.Spec carrier pattern:
+// constancy is enforced where the field is written, not here.
+func (k kernel) WorkloadVersion() string { return k.v }
+
+// Anything else computed at runtime defeats the diff script.
+type badKernel struct{}
+
+func (badKernel) WorkloadVersion() string {
+	return computeVersion() // want `not a compile-time constant`
+}

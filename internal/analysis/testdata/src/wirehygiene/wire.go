@@ -1,0 +1,74 @@
+// Package wirehygiene is the hpccwire analysistest fixture: a package
+// opted into the wire boundary via the marker below.
+//
+//hpcc:wire
+package wirehygiene
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// localParse stands in for a same-module callee: errors it returns are
+// assumed to carry context already.
+func localParse(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("parse frame count %q: %w", s, err)
+	}
+	return n, nil
+}
+
+func bareForeign(path string) error {
+	_, err := os.Open(path)
+	if err != nil {
+		return err // want `returned bare across the wire boundary`
+	}
+	return nil
+}
+
+func wrappedForeign(path string) error {
+	_, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open frame log %s: %w", path, err)
+	}
+	return nil
+}
+
+// rebound: the foreign error is re-wrapped into the same variable
+// before returning, which clears the taint.
+func rebound(path string) error {
+	_, err := os.Open(path)
+	if err != nil {
+		err = fmt.Errorf("open %s: %w", path, err)
+		return err
+	}
+	return nil
+}
+
+// sameModule errors already carry context at their own boundary.
+func sameModule(s string) error {
+	_, err := localParse(s)
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+func spawnBlind(ctx context.Context, work func()) {
+	go work() // want `goroutine launched without the ambient ctx`
+}
+
+func spawnWithCtx(ctx context.Context, work func(context.Context)) {
+	go work(ctx)
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// A function that receives no ctx has no ambient ctx to inherit.
+func spawnNoCtx(work func()) {
+	go work()
+}

@@ -1,0 +1,128 @@
+package analysis
+
+// hpccversion — the version-bump discipline. docs/WORKLOADS.md states
+// the rule: when a code change alters what a versioned kernel's RunFunc
+// returns, the kernel version must be bumped, because the version
+// participates in the result-cache key and the remote-fleet handshake.
+// Nothing enforced it. Enforcement has two halves:
+//
+//   - this analyzer proves versions are *enforceable*: every
+//     harness.Spec.Version value and every WorkloadVersion() method
+//     must evaluate to a non-empty compile-time constant string, so a
+//     version lives on a source line a diff can see (a version computed
+//     at runtime defeats both the cache key and the diff script);
+//   - scripts/check_version_bump.sh (run in CI on pull requests) then
+//     diffs versioned kernel packages against the merge base and fails
+//     when kernel code changed but no version constant did.
+//
+// Packages marked //hpcc:versioned additionally require every Spec
+// literal that carries a RunFunc to declare a Version — the marker is
+// the package saying "all my kernels are cacheable", after which an
+// unversioned workload is a lost invalidation lever.
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// VersionBump is the hpccversion analyzer.
+var VersionBump = &Analyzer{
+	Name: "hpccversion",
+	Doc:  "kernel versions must be non-empty compile-time string constants (and present, in //hpcc:versioned packages)",
+	Run:  runVersionBump,
+}
+
+func runVersionBump(pass *Pass) error {
+	mustVersion := hasMarker(pass.Files, "versioned")
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkSpecLit(pass, n, mustVersion)
+			case *ast.FuncDecl:
+				checkVersionMethod(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpecLit validates harness.Spec composite literals.
+func checkSpecLit(pass *Pass, lit *ast.CompositeLit, mustVersion bool) {
+	t := pass.TypesInfo.Types[lit].Type
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Spec" || named.Obj().Pkg() == nil ||
+		named.Obj().Pkg().Path() != "repro/internal/harness" {
+		return
+	}
+	var versionExpr ast.Expr
+	hasRunFunc := false
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Version":
+			versionExpr = kv.Value
+		case "RunFunc", "Run":
+			hasRunFunc = true
+		}
+	}
+	if versionExpr == nil {
+		if mustVersion && hasRunFunc {
+			pass.Reportf(lit.Pos(), "Spec in //hpcc:versioned package declares no Version: an unversioned kernel cannot invalidate cached results or be refused by a stale fleet")
+		}
+		return
+	}
+	reportNonConstVersion(pass, versionExpr, "Spec.Version")
+}
+
+// checkVersionMethod validates WorkloadVersion methods: a single return
+// of a non-empty constant string. A return of a receiver field (the
+// harness.Spec carrier pattern) is exempt — there the constancy is
+// enforced where the literal writes the field, not at the accessor.
+func checkVersionMethod(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Name.Name != "WorkloadVersion" || fd.Recv == nil || fd.Body == nil {
+		return
+	}
+	recvObjs := make(map[types.Object]bool)
+	for _, field := range fd.Recv.List {
+		for _, name := range field.Names {
+			if obj := pass.TypesInfo.Defs[name]; obj != nil {
+				recvObjs[obj] = true
+			}
+		}
+	}
+	for _, stmt := range fd.Body.List {
+		ret, ok := stmt.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		if sel, ok := ast.Unparen(ret.Results[0]).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && recvObjs[pass.TypesInfo.Uses[id]] {
+				continue
+			}
+		}
+		reportNonConstVersion(pass, ret.Results[0], "WorkloadVersion()")
+	}
+}
+
+// reportNonConstVersion flags version expressions that are not
+// non-empty compile-time string constants.
+func reportNonConstVersion(pass *Pass, e ast.Expr, what string) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		pass.Reportf(e.Pos(), "%s is not a compile-time constant: the version must live on a diffable source line for the bump check (and a runtime-computed version corrupts cache keys)", what)
+		return
+	}
+	if tv.Value.Kind() == constant.String && constant.StringVal(tv.Value) == "" {
+		pass.Reportf(e.Pos(), "%s is the empty string: declare a real version (e.g. \"lp-3\") or drop the field", what)
+	}
+}

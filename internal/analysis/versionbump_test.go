@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestVersionBump pins hpccversion against its fixture: runtime-computed
+// and empty versions are flagged, a //hpcc:versioned Spec with a RunFunc
+// but no Version is flagged, and constant versions (directly, via a
+// named constant, or through the receiver-field carrier pattern) pass.
+func TestVersionBump(t *testing.T) {
+	analysistest.Run(t, "versionbump", analysis.VersionBump)
+}

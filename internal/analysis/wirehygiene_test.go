@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// TestWireHygiene pins hpccwire against its fixture: bare foreign errors
+// and ctx-blind goroutines in ctx-bearing functions are flagged; wrapped
+// returns, re-bound errors, same-module errors and ctx-aware spawns are
+// not.
+func TestWireHygiene(t *testing.T) {
+	analysistest.Run(t, "wirehygiene", analysis.WireHygiene)
+}

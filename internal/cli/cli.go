@@ -70,6 +70,7 @@ func commands() []command {
 		{"worker", "serve sweep jobs from stdin as JSONL, or over TCP with -listen", cmdWorker},
 		{"serve", "long-lived HTTP JSON API over run/sweep/report/trend", cmdServe},
 		{"diff", "compare two stored snapshots and flag metric regressions", cmdDiff},
+		{"trend", "print one workload metric across stored snapshots (CLI twin of /api/v1/trend)", cmdTrend},
 		{"cache", "result-cache maintenance: prune entries by age/size", cmdCache},
 		{"linpack", "LINPACK benchmark and parameter sweeps (legacy tool)", cmdLinpack},
 		{"nren", "consortium network experiments (legacy tool)", cmdNren},

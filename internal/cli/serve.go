@@ -81,6 +81,7 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	errc := make(chan error, 1)
+	//lint:ignore hpccwire hs.Serve is shut down by the ctx-driven Shutdown in the select below; threading ctx into the accept loop itself is http.Server's job
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
@@ -150,7 +151,7 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return err
+		return fmt.Errorf("decode request body: %w", err)
 	}
 	var extra any
 	if err := dec.Decode(&extra); err != io.EOF {

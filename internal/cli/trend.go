@@ -1,0 +1,106 @@
+package cli
+
+// The `hpcc trend` subcommand: the CLI twin of serve's /api/v1/trend.
+// It walks every snapshot in the run store oldest→newest and prints one
+// workload metric as a longitudinal series, so "did E4 get slower over
+// the last ten commits" is answerable without standing up the HTTP
+// server. -json emits exactly the endpoint's payload shape
+// ([]store.TrendPoint), so scripts can consume either source.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/store"
+)
+
+func cmdTrend(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hpcc trend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("store", store.DefaultDir, "run store directory")
+	metric := fs.String("metric", "", "metric name (default: the workload's headline metric)")
+	jsonOut := fs.Bool("json", false, "emit the series as JSON ([]TrendPoint, the /api/v1/trend payload)")
+	// Accept the workload ID and flags in any interleaving, like diff.
+	var ids []string
+	rest := args
+	for {
+		for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+			ids = append(ids, rest[0])
+			rest = rest[1:]
+		}
+		if len(rest) == 0 {
+			break
+		}
+		if err := fs.Parse(rest); err != nil {
+			return parseErr(err)
+		}
+		if len(fs.Args()) == len(rest) {
+			ids = append(ids, fs.Args()...)
+			break
+		}
+		rest = fs.Args()
+	}
+	if len(ids) != 1 {
+		return errors.New("trend: want exactly one workload ID, e.g. 'hpcc trend E4 -metric mflops'")
+	}
+	workload := ids[0]
+
+	st, err := store.Open(*dir)
+	if err != nil {
+		return err
+	}
+	snaps, err := st.Snapshots()
+	if err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		return store.NoSnapshotsError(*dir)
+	}
+	points, err := store.Trend(snaps, workload, *metric)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return writeJSON(stdout, points)
+	}
+	_, err = io.WriteString(stdout, trendTable(workload, points).Render())
+	return err
+}
+
+// trendTable renders the series with a Δ% column against the previous
+// point of the same (metric, params) series, so interleaved parameter
+// sweeps don't produce nonsense deltas.
+func trendTable(workload string, points []store.TrendPoint) *report.Table {
+	t := report.NewTable("trend: "+workload, "RUN", "TAG", "COMMIT", "TIME", "PARAMS", "METRIC", "VALUE", "Δ%")
+	t.Aligns = []report.Align{report.Left, report.Left, report.Left, report.Left, report.Left, report.Left, report.Right, report.Right}
+	prev := make(map[string]float64)
+	for _, p := range points {
+		key := p.Metric + "\x00" + p.ParamsKey
+		delta := ""
+		if last, ok := prev[key]; ok && last != 0 {
+			delta = fmt.Sprintf("%+.1f%%", (p.Value-last)/last*100)
+		}
+		prev[key] = p.Value
+		val := strconv.FormatFloat(p.Value, 'g', -1, 64)
+		if p.Unit != "" {
+			val += " " + p.Unit
+		}
+		t.AddRow(p.RunID, p.Tag, shortCommit(p.Commit), p.Time, p.ParamsKey, p.Metric, val, delta)
+	}
+	return t
+}
+
+// shortCommit abbreviates full hashes the way git log does; tags like
+// "unknown" pass through whole.
+func shortCommit(c string) string {
+	if len(c) >= 40 {
+		return c[:7]
+	}
+	return c
+}

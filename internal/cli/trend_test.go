@@ -1,0 +1,90 @@
+package cli
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/store"
+)
+
+// seedTrendStore appends n snapshots of one workload whose mflops metric
+// climbs 100, 110, 120, ... so table deltas are exact.
+func seedTrendStore(t *testing.T, dir string, n int) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 3, 9, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		r := harness.Result{WorkloadID: "bench/t", Text: "x\n"}
+		r.AddMetric("mflops", 100+10*float64(i), "MFLOPS")
+		meta := store.Meta{Commit: strings.Repeat("a", 39) + string(rune('0'+i)), Time: base.Add(time.Duration(i) * time.Minute)}
+		if _, err := st.Append(meta, []store.Entry{{Result: r}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTrendTable: the human-readable series is oldest-first with deltas
+// against the previous point of the same metric.
+func TestTrendTable(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	seedTrendStore(t, dir, 3)
+	out, errOut, code := run(t, "trend", "bench/t", "-store", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut)
+	}
+	for _, want := range []string{"trend: bench/t", "mflops", "100 MFLOPS", "120 MFLOPS", "+10.0%", "+9.1%", "aaaaaaa"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if i, j := strings.Index(out, "100 MFLOPS"), strings.Index(out, "120 MFLOPS"); i > j {
+		t.Errorf("series not oldest-first:\n%s", out)
+	}
+}
+
+// TestTrendJSONMatchesEndpointShape: -json emits []store.TrendPoint, the
+// same payload /api/v1/trend serves, so scripts can consume either.
+func TestTrendJSONMatchesEndpointShape(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	seedTrendStore(t, dir, 2)
+	out, errOut, code := run(t, "trend", "-json", "bench/t", "-metric", "mflops", "-store", dir)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errOut)
+	}
+	var points []store.TrendPoint
+	if err := json.Unmarshal([]byte(out), &points); err != nil {
+		t.Fatalf("decode: %v\n%s", err, out)
+	}
+	if len(points) != 2 || points[0].Value != 100 || points[1].Value != 110 {
+		t.Fatalf("points = %+v", points)
+	}
+	if points[0].Metric != "mflops" || points[0].Unit != "MFLOPS" {
+		t.Fatalf("metric metadata lost: %+v", points[0])
+	}
+}
+
+// TestTrendErrors: a missing workload or an empty store fail with a
+// message naming the problem, and flag/positional interleaving works.
+func TestTrendErrors(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	if _, _, code := run(t, "trend", "bench/t", "-store", dir); code == 0 {
+		t.Error("empty store: want nonzero exit")
+	}
+	seedTrendStore(t, dir, 1)
+	if _, errOut, code := run(t, "trend", "no/such", "-store", dir); code == 0 || !strings.Contains(errOut, "no/such") {
+		t.Errorf("unknown workload: exit %d, stderr %q", code, errOut)
+	}
+	if _, _, code := run(t, "trend", "-store", dir); code == 0 {
+		t.Error("missing workload ID: want nonzero exit")
+	}
+	if _, _, code := run(t, "trend", "-store", dir, "bench/t"); code != 0 {
+		t.Error("flags before the positional ID must parse")
+	}
+}

@@ -12,6 +12,8 @@ package harness
 //
 // This is test infrastructure, but it lives in the package proper so
 // the CLI gates in CI (and future transports) can reuse it.
+//
+//lint:file-ignore hpccwire chaosConn is a transparent net.Conn shim: the raw error must pass through unwrapped so net.Error and sentinel checks reach the real caller
 
 import (
 	"bytes"

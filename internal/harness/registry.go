@@ -46,9 +46,11 @@ func (r *Registry) Lookup(id string) (Workload, error) {
 	if w, ok := r.m[id]; ok {
 		return w, nil
 	}
-	for k, w := range r.m {
+	// Sorted order, not map order: with two IDs differing only in case,
+	// every lookup must resolve to the same one.
+	for _, k := range r.idsLocked() {
 		if strings.EqualFold(k, id) {
-			return w, nil
+			return r.m[k], nil
 		}
 	}
 	return nil, fmt.Errorf("harness: unknown workload %q (have %s)",

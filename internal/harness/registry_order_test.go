@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"maps"
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// orderSpec builds a distinct trivial workload for registration-order
+// tests.
+func orderSpec(i int) Spec {
+	return Spec{
+		WorkloadID: fmt.Sprintf("order-w%02d", i),
+		Desc:       "registration-order probe",
+		Version:    fmt.Sprintf("v%d", i),
+		RunFunc: func(ctx context.Context, p Params) (Result, error) {
+			return Result{}, nil
+		},
+	}
+}
+
+// TestRegistryOrderIndependence pins the remote-handshake identity:
+// Fingerprint, Versions and IDs are functions of the registered set,
+// never of registration order. Two fleets that registered the same
+// workloads in different init orders must agree they are compatible.
+func TestRegistryOrderIndependence(t *testing.T) {
+	const n = 12
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = orderSpec(i)
+	}
+
+	reference := NewRegistry()
+	for _, s := range specs {
+		if err := reference.Register(s); err != nil {
+			t.Fatalf("register %s: %v", s.WorkloadID, err)
+		}
+	}
+	wantFP := reference.Fingerprint()
+	wantIDs := reference.IDs()
+	wantVersions := reference.Versions()
+
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 8; trial++ {
+		order := rng.Perm(n)
+		if trial == 0 { // make sure exact reversal is among the orders
+			for i := range order {
+				order[i] = n - 1 - i
+			}
+		}
+		r := NewRegistry()
+		for _, i := range order {
+			if err := r.Register(specs[i]); err != nil {
+				t.Fatalf("trial %d: register %s: %v", trial, specs[i].WorkloadID, err)
+			}
+		}
+		if fp := r.Fingerprint(); fp != wantFP {
+			t.Errorf("trial %d (order %v): Fingerprint = %s, want %s — registration order leaked into the handshake identity", trial, order, fp, wantFP)
+		}
+		if ids := r.IDs(); !slices.Equal(ids, wantIDs) {
+			t.Errorf("trial %d: IDs = %v, want %v", trial, ids, wantIDs)
+		}
+		if vs := r.Versions(); !maps.Equal(vs, wantVersions) {
+			t.Errorf("trial %d: Versions = %v, want %v", trial, vs, wantVersions)
+		}
+	}
+}
+
+// TestRegistryLookupCaseFoldDeterministic pins the Lookup fix: when two
+// IDs differ only in case, a case-insensitive lookup resolves to the
+// same (sorted-first) entry regardless of registration order.
+func TestRegistryLookupCaseFoldDeterministic(t *testing.T) {
+	mk := func(id string) Spec {
+		s := orderSpec(0)
+		s.WorkloadID = id
+		return s
+	}
+	for trial, order := range [][]string{{"CaseProbe", "caseprobe"}, {"caseprobe", "CaseProbe"}} {
+		r := NewRegistry()
+		for _, id := range order {
+			if err := r.Register(mk(id)); err != nil {
+				t.Fatalf("register %s: %v", id, err)
+			}
+		}
+		w, err := r.Lookup("CASEPROBE")
+		if err != nil {
+			t.Fatalf("trial %d: Lookup: %v", trial, err)
+		}
+		if got := w.ID(); got != "CaseProbe" {
+			t.Errorf("trial %d: Lookup resolved to %q, want the sorted-first %q regardless of registration order", trial, got, "CaseProbe")
+		}
+	}
+}

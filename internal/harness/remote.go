@@ -191,7 +191,7 @@ func (e *RemoteExecutor) connect(ctx context.Context, addr string) (net.Conn, *f
 	if err != nil {
 		return nil, nil, fmt.Errorf("dial %s: %w", addr, err)
 	}
-	conn.SetDeadline(time.Now().Add(e.handshakeTimeout()))
+	conn.SetDeadline(time.Now().Add(e.handshakeTimeout())) //lint:ignore hpccdet socket deadlines are wall-clock I/O plumbing, not simulated time
 	local := HelloFor(e.reg(), RoleExecutor)
 	if err := EncodeWire(conn, local); err != nil {
 		conn.Close()
@@ -397,7 +397,7 @@ func (e *RemoteExecutor) runWorker(ctx context.Context, s *remoteSweep, w int) {
 
 		// Wait for one frame; worker heartbeats arrive every
 		// DefaultHeartbeatInterval, so a silent connection is a dead one.
-		conn.SetReadDeadline(time.Now().Add(hbTimeout))
+		conn.SetReadDeadline(time.Now().Add(hbTimeout)) //lint:ignore hpccdet socket deadlines are wall-clock I/O plumbing, not simulated time
 		line, err := fr.next()
 		if err != nil {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {

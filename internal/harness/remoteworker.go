@@ -118,7 +118,7 @@ func (s *RemoteWorkerServer) serveConn(ctx context.Context, conn net.Conn) error
 	defer stop()
 
 	fr := newFrameReader(conn)
-	conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout()))
+	conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout())) //lint:ignore hpccdet socket deadlines are wall-clock I/O plumbing, not simulated time
 	line, err := fr.next()
 	if err != nil {
 		return fmt.Errorf("read hello: %w", err)

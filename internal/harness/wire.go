@@ -148,6 +148,7 @@ func (fr *frameReader) next() ([]byte, error) {
 			}
 			return nil, fmt.Errorf("%w (stream ended %d bytes into an unterminated line)", ErrTruncatedFrame, len(buf))
 		default:
+			//lint:ignore hpccwire the heartbeat loop type-asserts net.Error on this error to tell a read deadline from a dead peer; wrapping would hide it
 			return nil, err
 		}
 	}

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# check_version_bump.sh — CI half of the version-bump discipline.
+#
+# docs/WORKLOADS.md: when a code change alters what a versioned kernel
+# returns, the kernel version must be bumped — the version participates
+# in the result-cache key and the remote-fleet handshake. The hpccvet
+# hpccversion analyzer proves every version is a compile-time constant
+# on a diffable source line; this script does the diffing: for each
+# package that declares a version constant, if its non-test Go code
+# changed relative to the merge base, some version line must have
+# changed too.
+#
+# Usage: scripts/check_version_bump.sh [base-ref]   (default origin/main)
+# Run from the repo root with full history (fetch-depth: 0 in CI).
+set -euo pipefail
+
+base_ref="${1:-origin/main}"
+if ! mb=$(git merge-base HEAD "$base_ref" 2>/dev/null); then
+    echo "check_version_bump: cannot resolve merge base with $base_ref; skipping" >&2
+    exit 0
+fi
+if [ "$mb" = "$(git rev-parse HEAD)" ]; then
+    exit 0 # nothing to diff
+fi
+
+# A package is versioned when it declares a version as a string constant
+# (the shape hpccvet enforces): `const kernelVersion = "lu-1"`,
+# `Version: "v2"`. Fixtures and tests don't count.
+versioned_dirs=$(grep -rlE --include='*.go' \
+        'const[[:space:]]+[A-Za-z_]*[Vv]ersion[A-Za-z_]* = "|Version:[[:space:]]*"' \
+        cmd internal 2>/dev/null |
+    grep -v '_test\.go$' | grep -v '/testdata/' |
+    xargs -r -n1 dirname | sort -u)
+
+fail=0
+for dir in $versioned_dirs; do
+    changed=$(git diff --name-only "$mb" HEAD -- "$dir" |
+        grep -E '\.go$' | grep -v '_test\.go$' || true)
+    # Only same-directory files: diff paths recurse into subpackages,
+    # which version independently.
+    changed=$(echo "$changed" | awk -v d="$dir" 'index($0, d"/") == 1 && $0 !~ ("^" d "/.*/")' || true)
+    [ -n "$changed" ] || continue
+
+    # Comment-only and blank-line churn does not alter kernel output and
+    # needs no bump.
+    substantive=$(git diff -U0 "$mb" HEAD -- $changed |
+        grep -E '^[-+][^-+]' |
+        grep -vE '^[-+][[:space:]]*(//|$)' || true)
+    [ -n "$substantive" ] || continue
+
+    bumped=$(git diff -U0 "$mb" HEAD -- "$dir" |
+        grep -E '^[-+].*([Vv]ersion[A-Za-z_]* = "|Version:[[:space:]]*")' || true)
+    if [ -z "$bumped" ]; then
+        echo "version bump missing: $dir changed since $(git rev-parse --short "$mb") but no version constant did" >&2
+        echo "  changed files:" >&2
+        echo "$changed" | sed 's/^/    /' >&2
+        echo "  bump the version constant (docs/WORKLOADS.md, 'Versioning'), or split the refactor from behavior changes" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "check_version_bump: ok"
