@@ -1,0 +1,302 @@
+package cli
+
+// Tests for serve's admission control and per-request budget: the pool
+// bound, the 429 + Retry-After backpressure answer, queue waits that
+// respect the waiter's context, cache hits slipping past a saturated
+// pool, and the -budget deadline reaching a running workload.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// tryPostJSON is postJSON without *testing.T: safe to call from helper
+// goroutines, where t.Fatal is off-limits.
+func tryPostJSON(url, body string) (int, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func TestAdmitterPoolAndQueueBounds(t *testing.T) {
+	a := newAdmitter(1, 1)
+	rel1, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second acquire queues; it must be waiting before the third arrives.
+	queued := make(chan error, 1)
+	go func() {
+		rel2, err := a.acquire(context.Background())
+		if err == nil {
+			defer rel2()
+		}
+		queued <- err
+	}()
+	waitForQueued(t, a, 1)
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errServeSaturated) {
+		t.Fatalf("over-capacity acquire: got %v, want errServeSaturated", err)
+	}
+	rel1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire after release: %v", err)
+	}
+}
+
+func TestAdmitterQueueWaitRespectsContext(t *testing.T) {
+	a := newAdmitter(1, 4)
+	rel, err := a.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx)
+		done <- err
+	}()
+	waitForQueued(t, a, 1)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter got %v, want context.Canceled in the chain", err)
+		}
+		if errors.Is(err, errServeSaturated) {
+			t.Fatal("a cancelled wait is not saturation")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	// The dead waiter must have left the queue: with the slot still held,
+	// a fresh waiter fits within maxQueue even after 4 cancelled ones.
+	if got := a.queued.Load(); got != 0 {
+		t.Fatalf("queue count %d after the waiter left, want 0", got)
+	}
+}
+
+func waitForQueued(t *testing.T, a *admitter, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.queued.Load() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never reached %d waiters", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestComputeErrorStatusMapping(t *testing.T) {
+	rec := httptest.NewRecorder()
+	computeError(rec, fmt.Errorf("sweep: %w", errServeSaturated), "x")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("saturation mapped to %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	for _, cause := range []error{context.Canceled, context.DeadlineExceeded} {
+		rec := httptest.NewRecorder()
+		computeError(rec, fmt.Errorf("wrapped: %w", cause), "x")
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("%v mapped to %d, want 503", cause, rec.Code)
+		}
+	}
+	rec = httptest.NewRecorder()
+	computeError(rec, errors.New("kernel exploded"), "x")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("plain error mapped to %d, want 500", rec.Code)
+	}
+}
+
+// admissionTestServer builds a server with a real admitter plus two
+// workloads: srv/block parks on the returned release channel (signalling
+// entered first), srv/count is serveTestServer's counting workload.
+func admissionTestServer(t *testing.T, pool, queue int, budget time.Duration, cacheDir string) (*httptest.Server, chan struct{}, chan struct{}, *atomic.Int32) {
+	t.Helper()
+	var calls atomic.Int32
+	entered := make(chan struct{}, 64)
+	release := make(chan struct{})
+	reg := harness.NewRegistry()
+	mustRegister := func(s harness.Spec) {
+		t.Helper()
+		if err := reg.Register(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRegister(harness.Spec{
+		WorkloadID: "srv/block",
+		Desc:       "parks until released",
+		Version:    "v1",
+		Space:      []harness.Param{{Name: "n", Default: "1"}},
+		RunFunc: func(ctx context.Context, p harness.Params) (harness.Result, error) {
+			entered <- struct{}{}
+			select {
+			case <-release:
+				return harness.Result{WorkloadID: "srv/block", Text: "released\n"}, nil
+			case <-ctx.Done():
+				return harness.Result{}, ctx.Err()
+			}
+		},
+	})
+	mustRegister(harness.Spec{
+		WorkloadID: "srv/count",
+		Desc:       "counts runs",
+		Version:    "v1",
+		Space:      []harness.Param{{Name: "n", Default: "1"}},
+		RunFunc: func(_ context.Context, p harness.Params) (harness.Result, error) {
+			calls.Add(1)
+			return harness.Result{WorkloadID: "srv/count", Text: "counted\n"}, nil
+		},
+	})
+	srv := &server{
+		reg:    reg,
+		stderr: testDiscard(t),
+		budget: budget,
+		admit:  newAdmitter(pool, queue),
+		newExec: func() (harness.Executor, error) {
+			return harness.LocalExecutor{Workers: 2}, nil
+		},
+	}
+	if cacheDir != "" {
+		cf := cacheFlags{dir: cacheDir}
+		c, err := cf.open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.cache = c
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(func() {
+		select {
+		case <-release:
+		default:
+			close(release)
+		}
+		ts.Close()
+	})
+	return ts, entered, release, &calls
+}
+
+// testDiscard is io.Discard; a named helper keeps the call sites honest
+// about throwing server logs away on purpose.
+func testDiscard(t *testing.T) interface{ Write([]byte) (int, error) } {
+	t.Helper()
+	return writerFunc(func(p []byte) (int, error) { return len(p), nil })
+}
+
+func TestServeSaturatedPoolIs429WithRetryAfter(t *testing.T) {
+	ts, entered, release, _ := admissionTestServer(t, 1, 0, 0, "")
+	// Fill the single slot with a parked run.
+	blocked := make(chan int, 1)
+	go func() {
+		code, _ := tryPostJSON(ts.URL+"/api/v1/run", `{"id":"srv/block"}`)
+		blocked <- code
+	}()
+	<-entered
+	// Pool full, queue zero: the next compute request bounces.
+	resp, body := postJSON(t, ts.URL+"/api/v1/run", `{"id":"srv/count"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated run: %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "application/json") {
+		t.Fatalf("429 content-type %q", resp.Header.Get("Content-Type"))
+	}
+	// Sweeps hit the same gate.
+	resp, body = postJSON(t, ts.URL+"/api/v1/sweep", `{"ids":["srv/count"]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated sweep: %d %s, want 429", resp.StatusCode, body)
+	}
+	close(release)
+	if code := <-blocked; code != http.StatusOK {
+		t.Fatalf("parked request finished %d after release, want 200", code)
+	}
+	// Capacity is back.
+	resp, body = postJSON(t, ts.URL+"/api/v1/run", `{"id":"srv/count"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-release run: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestServePoolNeverExceeded(t *testing.T) {
+	const pool = 2
+	ts, entered, release, _ := admissionTestServer(t, pool, 16, 0, "")
+	// Ten distinct blocking runs (distinct flight keys via n) all admitted
+	// or queued; only pool of them may be inside the workload at once.
+	for i := 0; i < 10; i++ {
+		body := fmt.Sprintf(`{"id":"srv/block","values":{"n":"%d"}}`, i)
+		go tryPostJSON(ts.URL+"/api/v1/run", body)
+	}
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < pool; i++ {
+		select {
+		case <-entered:
+		case <-deadline:
+			t.Fatalf("only %d of %d pool slots ever started", i, pool)
+		}
+	}
+	select {
+	case <-entered:
+		t.Fatalf("more than %d workloads ran concurrently", pool)
+	case <-time.After(300 * time.Millisecond):
+	}
+	close(release)
+}
+
+func TestServeCacheHitBypassesSaturatedPool(t *testing.T) {
+	ts, entered, release, calls := admissionTestServer(t, 1, 0, 0, t.TempDir())
+	// Warm the cache while the pool is idle.
+	resp, body := postJSON(t, ts.URL+"/api/v1/run", `{"id":"srv/count"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warming run: %d %s", resp.StatusCode, body)
+	}
+	// Saturate the pool...
+	go tryPostJSON(ts.URL+"/api/v1/run", `{"id":"srv/block"}`)
+	<-entered
+	defer close(release)
+	// ...and the cached answer must still flow: no compute, no 429.
+	resp, body = postJSON(t, ts.URL+"/api/v1/run", `{"id":"srv/count"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit under saturation: %d %s, want 200", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-HPCC-Cache"); got != "hit" {
+		t.Fatalf("cache header %q, want hit", got)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("workload ran %d times, want 1 (second answer from cache)", got)
+	}
+}
+
+func TestServeBudgetDeadlineReachesTheWorkload(t *testing.T) {
+	ts, entered, _, _ := admissionTestServer(t, 4, 16, 30*time.Millisecond, "")
+	resp, body := postJSON(t, ts.URL+"/api/v1/run", `{"id":"srv/block"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("budget expiry: %d %s, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "deadline") {
+		t.Fatalf("503 body does not name the deadline: %s", body)
+	}
+	select {
+	case <-entered:
+	default:
+		t.Fatal("workload never started; the deadline should cut it mid-run, not pre-empt it")
+	}
+}

@@ -1,0 +1,48 @@
+package cli
+
+// The -budget flag: one wall-clock deadline per invocation, threaded as
+// a context deadline so it reaches every layer that already honors ctx —
+// remote dispatch and the redial loop (harness.RemoteExecutor), queued
+// serve admissions, and the simulation event loops themselves
+// (nx.Config.Ctx / RunContext). When the budget expires, whatever is
+// running is cancelled at its next collective boundary and the command
+// fails with an error that wraps context.DeadlineExceeded.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"time"
+)
+
+// budgetFlags carries the -budget per-invocation deadline shared by run,
+// sweep, report and serve (per request there).
+type budgetFlags struct{ d time.Duration }
+
+func (bf *budgetFlags) register(fs *flag.FlagSet) {
+	fs.DurationVar(&bf.d, "budget", 0,
+		"wall-clock budget for this invocation (e.g. 90s); the deadline reaches remote dispatch and the simulation event loops. 0 = unlimited")
+}
+
+// apply derives the bounded context. The returned cancel must run even
+// on the no-budget path (it is a no-op there).
+func (bf *budgetFlags) apply(ctx context.Context) (context.Context, context.CancelFunc) {
+	if bf.d <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, bf.d)
+}
+
+// explain rewraps a budget expiry so the user sees which budget died,
+// while errors.Is(err, context.DeadlineExceeded) keeps holding for
+// callers that dispatch on the cause. Other errors pass through.
+func (bf *budgetFlags) explain(err error) error {
+	if err == nil || bf.d <= 0 {
+		return err
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("budget %v exhausted: %w", bf.d, err)
+	}
+	return err
+}

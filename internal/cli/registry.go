@@ -83,6 +83,10 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	xf.register(fs)
 	var ssf simShardsFlags
 	ssf.register(fs)
+	var tf tokenFlags
+	tf.register(fs)
+	var bf budgetFlags
+	bf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
@@ -99,6 +103,8 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if err != nil {
 		return err
 	}
+	ctx, cancelBudget := bf.apply(ctx)
+	defer cancelBudget()
 
 	reportParams := harness.Params{Quick: *quick}
 	prog := core.NewProgram()
@@ -110,14 +116,14 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		}
 		res, err := runCached(ctx, resultCache, w, reportParams, stderr)
 		if err != nil {
-			return err
+			return bf.explain(err)
 		}
 		if err := writeResult(stdout, res, *jsonOut); err != nil {
 			return err
 		}
 		return sf.persist(ctx, []store.Entry{{Params: reportParams, Result: res}}, stderr)
 	}
-	ex, err := newExecutor(*shards, *jobs, *remote, stderr)
+	ex, err := newExecutor(*shards, *jobs, *remote, tf.token, stderr)
 	if err != nil {
 		return err
 	}
@@ -135,7 +141,7 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		return werr
 	}
 	if err != nil {
-		return err
+		return bf.explain(err)
 	}
 	if *jsonOut {
 		if err := writeJSON(stdout, results); err != nil {
@@ -244,6 +250,8 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	xf.register(fs)
 	var ssf simShardsFlags
 	ssf.register(fs)
+	var bf budgetFlags
+	bf.register(fs)
 	// Accept both "run <id> [flags]" and "run [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
@@ -262,6 +270,8 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	if err != nil {
 		return err
 	}
+	ctx, cancelBudget := bf.apply(ctx)
+	defer cancelBudget()
 	switch {
 	case id == "" && fs.NArg() == 1:
 		id = fs.Arg(0)
@@ -277,7 +287,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	params := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
 	res, err := runCached(ctx, resultCache, w, params, stderr)
 	if err != nil {
-		return err
+		return bf.explain(err)
 	}
 	if err := writeResult(stdout, res, *jsonOut); err != nil {
 		return err
@@ -307,6 +317,10 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	xf.register(fs)
 	var ssf simShardsFlags
 	ssf.register(fs)
+	var tf tokenFlags
+	tf.register(fs)
+	var bf budgetFlags
+	bf.register(fs)
 	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
@@ -325,6 +339,8 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
+	ctx, cancelBudget := bf.apply(ctx)
+	defer cancelBudget()
 	if id == "" && fs.NArg() == 1 {
 		id = fs.Arg(0)
 	} else if fs.NArg() > 0 {
@@ -370,7 +386,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		jobList = harness.WorkloadJobs(ws, base)
 	}
 
-	ex, err := newExecutor(*shards, *jobs, *remote, stderr)
+	ex, err := newExecutor(*shards, *jobs, *remote, tf.token, stderr)
 	if err != nil {
 		return err
 	}
@@ -390,7 +406,7 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		return werr
 	}
 	if err != nil {
-		return err
+		return bf.explain(err)
 	}
 	if *jsonOut {
 		if err := writeJSON(stdout, results); err != nil {

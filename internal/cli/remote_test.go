@@ -14,9 +14,10 @@ import (
 	"testing"
 )
 
-// startFleetWorker runs `hpcc worker -listen 127.0.0.1:0` on a goroutine
-// and returns the address it bound. The worker stops with ctx.
-func startFleetWorker(t *testing.T, ctx context.Context) string {
+// startFleetWorker runs `hpcc worker -listen 127.0.0.1:0` (plus any
+// extra flags, e.g. -token) on a goroutine and returns the address it
+// bound. The worker stops with ctx.
+func startFleetWorker(t *testing.T, ctx context.Context, extra ...string) string {
 	t.Helper()
 	var mu sync.Mutex
 	var out bytes.Buffer
@@ -25,7 +26,8 @@ func startFleetWorker(t *testing.T, ctx context.Context) string {
 		defer mu.Unlock()
 		return out.Write(p)
 	})
-	go MainContext(ctx, []string{"worker", "-listen", "127.0.0.1:0"}, locked, io.Discard)
+	args := append([]string{"worker", "-listen", "127.0.0.1:0"}, extra...)
+	go MainContext(ctx, args, locked, io.Discard)
 	return awaitBanner(t, &mu, &out, "hpcc worker: listening on ")
 }
 
@@ -82,6 +84,36 @@ func TestRemoteBadAddressListFailsFast(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "empty address") {
 		t.Fatalf("unhelpful error: %s", errOut)
+	}
+}
+
+func TestFleetTokenMismatchFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr := startFleetWorker(t, ctx, "-token", "sesame")
+	_, errOut, code := run(t, "sweep", "-ids", "E1", "-quick", "-remote", addr, "-token", "tahini")
+	if code == 0 {
+		t.Fatal("wrong fleet token accepted")
+	}
+	if !strings.Contains(errOut, "token mismatch") {
+		t.Fatalf("mismatch error does not name the token: %s", errOut)
+	}
+}
+
+func TestFleetTokenMatchByteIdentical(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr := startFleetWorker(t, ctx, "-token", "sesame")
+	local, _, code := run(t, "sweep", "-ids", "E1", "-quick")
+	if code != 0 {
+		t.Fatalf("local sweep exit %d", code)
+	}
+	remote, errOut, code := run(t, "sweep", "-ids", "E1", "-quick", "-remote", addr, "-token", "sesame")
+	if code != 0 {
+		t.Fatalf("tokened remote sweep exit %d: %s", code, errOut)
+	}
+	if remote != local {
+		t.Fatal("tokened sweep output differs from the local pool")
 	}
 }
 

@@ -8,6 +8,14 @@ package cli
 // and answered from one workload run; repeat requests are served from
 // the content-addressed cache when -cache is set. Every response carries
 // an X-HPCC-Cache header saying which of those paths it took.
+//
+// Compute is admission-controlled: at most -pool requests run executors
+// at once, at most -queue more wait for a slot (respecting their request
+// context while they wait), and anything past that bounces immediately
+// with 429 + Retry-After instead of piling executors onto the host.
+// Cache hits and trend/workload listings bypass admission — they do no
+// compute. With -budget set, each admitted request additionally runs
+// under that wall-clock deadline.
 
 import (
 	"context"
@@ -19,6 +27,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -35,12 +44,18 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	shards := fs.Int("shards", 0, "fan each sweep/report out to N hpcc worker processes")
 	remote := fs.String("remote", "", "fan each sweep/report out to hpcc worker -listen fleet at these comma-separated addresses")
 	storeDir := fs.String("store", "", "serve /api/v1/trend from the run store in this directory (e.g. "+store.DefaultDir+")")
+	pool := fs.Int("pool", 4, "max compute requests running executors at once; the rest queue or bounce")
+	queue := fs.Int("queue", 16, "max compute requests waiting for an executor slot before new ones get 429")
 	var cf cacheFlags
 	cf.register(fs)
 	var xf collectivesFlags
 	xf.register(fs)
 	var ssf simShardsFlags
 	ssf.register(fs)
+	var tf tokenFlags
+	tf.register(fs)
+	var bf budgetFlags
+	bf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
@@ -57,17 +72,25 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
-	// Fail a bad executor configuration now, not on the first request.
-	if _, err := newExecutor(*shards, *jobs, *remote, io.Discard); err != nil {
+	// Fail a bad configuration now, not on the first request.
+	if err := validateExecutorConfig(*shards, *jobs, *remote); err != nil {
 		return err
+	}
+	if *pool < 1 {
+		return fmt.Errorf("-pool must be at least 1 (got %d)", *pool)
+	}
+	if *queue < 0 {
+		return fmt.Errorf("-queue must be non-negative (got %d; 0 means over-capacity requests bounce immediately)", *queue)
 	}
 
 	srv := &server{
 		cache:    resultCache,
 		storeDir: *storeDir,
 		stderr:   stderr,
+		budget:   bf.d,
+		admit:    newAdmitter(*pool, *queue),
 		newExec: func() (harness.Executor, error) {
-			return newExecutor(*shards, *jobs, *remote, stderr)
+			return newExecutor(*shards, *jobs, *remote, tf.token, stderr)
 		},
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -105,6 +128,8 @@ type server struct {
 	cache    *cache.Cache
 	storeDir string
 	stderr   io.Writer
+	budget   time.Duration // per-request wall-clock deadline; 0 = unlimited
+	admit    *admitter     // nil means unbounded admission (bare test servers)
 	newExec  func() (harness.Executor, error)
 	flight   cache.Flight
 }
@@ -114,6 +139,80 @@ func (s *server) registry() *harness.Registry {
 		return s.reg
 	}
 	return harness.Default
+}
+
+// errServeSaturated is what admission returns when both the executor
+// pool and the waiting queue are full; computeError turns it into 429.
+var errServeSaturated = errors.New("serve: all executor slots busy and the admission queue is full")
+
+// admitter bounds the compute the server will take on at once: len(slots)
+// requests run executors, up to maxQueue more wait for a slot, and
+// anything past that bounces. The queue is counted, not stored — waiters
+// park in acquire's select, so a cancelled client leaves the queue the
+// moment its context dies instead of holding a position it will never use.
+type admitter struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmitter(pool, queue int) *admitter {
+	return &admitter{slots: make(chan struct{}, pool), maxQueue: int64(queue)}
+}
+
+// acquire claims an executor slot, queueing within the bound. The caller
+// must invoke release exactly once when its compute finishes.
+func (a *admitter) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, errServeSaturated
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("request gave up while queued for an executor slot: %w", ctx.Err())
+	}
+}
+
+// acquire is the nil-tolerant wrapper handlers use: a server built
+// without an admitter (unit tests) admits everything.
+func (s *server) acquire(ctx context.Context) (release func(), err error) {
+	if s.admit == nil {
+		return func() {}, nil
+	}
+	return s.admit.acquire(ctx)
+}
+
+// computeCtx layers the per-request -budget deadline onto a request
+// context. The deadline is applied after admission, so time spent
+// queued does not eat the budget.
+func (s *server) computeCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.budget <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, s.budget)
+}
+
+// computeError answers a failed compute request with the right status:
+// 429 + Retry-After when admission bounced it, 503 when it was cancelled
+// or timed out while queued or running, 500 otherwise.
+func computeError(w http.ResponseWriter, err error, format string, args ...any) {
+	switch {
+	case errors.Is(err, errServeSaturated):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, format, args...)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusServiceUnavailable, format, args...)
+	default:
+		httpError(w, http.StatusInternalServerError, format, args...)
+	}
 }
 
 func (s *server) handler() http.Handler {
@@ -207,21 +306,32 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	// and every waiter shares the leader's outcome.
 	key := "run\x00" + cache.Key(wl.ID(), params, version)
 	v, _, err := s.flight.Do(key, func() (any, error) {
+		// Cache hits are answered before admission: they do no compute,
+		// so a saturated pool must not 429 them.
+		if s.cache != nil {
+			if res, ok := s.cache.Get(wl.ID(), params, version); ok {
+				if res.WorkloadID == "" {
+					res.WorkloadID = wl.ID()
+				}
+				return runOutcome{res, "hit"}, nil
+			}
+		}
+		release, err := s.acquire(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		ctx, cancel := s.computeCtx(r.Context())
+		defer cancel()
 		if s.cache == nil {
-			res, err := runCached(r.Context(), nil, wl, params, s.stderr)
+			res, err := runCached(ctx, nil, wl, params, s.stderr)
 			return runOutcome{res, "bypass"}, err
 		}
-		if res, ok := s.cache.Get(wl.ID(), params, version); ok {
-			if res.WorkloadID == "" {
-				res.WorkloadID = wl.ID()
-			}
-			return runOutcome{res, "hit"}, nil
-		}
-		res, err := runCached(r.Context(), s.cache, wl, params, s.stderr)
+		res, err := runCached(ctx, s.cache, wl, params, s.stderr)
 		return runOutcome{res, "miss"}, err
 	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "run %s: %v", req.ID, err)
+		computeError(w, err, "run %s: %v", req.ID, err)
 		return
 	}
 	out := v.(runOutcome)
@@ -277,7 +387,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	results, cacheNote, err := s.execute(r.Context(), jobList)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "sweep: %v", err)
+		computeError(w, err, "sweep: %v", err)
 		return
 	}
 	w.Header().Set("X-HPCC-Cache", cacheNote)
@@ -288,17 +398,24 @@ func (s *server) handleReport(w http.ResponseWriter, r *http.Request) {
 	quick := r.URL.Query().Get("quick") != ""
 	// Reports are heavy and parameterless beyond quick: coalesce them.
 	v, _, err := s.flight.Do("report\x00"+strconv.FormatBool(quick), func() (any, error) {
+		release, err := s.acquire(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		ctx, cancel := s.computeCtx(r.Context())
+		defer cancel()
 		prog := core.NewProgram()
 		prog.Quick = quick
 		ex, err := s.newExec()
 		if err != nil {
 			return nil, err
 		}
-		results, err := prog.ReportResultsExec(r.Context(), wrapExecutor(ex, s.cache), nil)
+		results, err := prog.ReportResultsExec(ctx, wrapExecutor(ex, s.cache), nil)
 		return results, err
 	})
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "report: %v", err)
+		computeError(w, err, "report: %v", err)
 		return
 	}
 	writeJSONResponse(w, v)
@@ -317,6 +434,14 @@ func (s *server) handleTrend(w http.ResponseWriter, r *http.Request) {
 	st, err := store.Open(s.storeDir)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := st.Check(); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, store.ErrNoStore) {
+			code = http.StatusNotFound
+		}
+		httpError(w, code, "%v", err)
 		return
 	}
 	snaps, err := st.Snapshots()
@@ -338,8 +463,16 @@ func (s *server) handleTrend(w http.ResponseWriter, r *http.Request) {
 
 // execute runs one request's job list on a fresh executor, cache-fronted
 // when serve has a cache, and reports the hit/miss tally for the
-// response header.
+// response header. It passes through admission and the per-request
+// budget first: sweeps are the heaviest endpoint.
 func (s *server) execute(ctx context.Context, jobList []harness.Job) ([]harness.Result, string, error) {
+	release, err := s.acquire(ctx)
+	if err != nil {
+		return nil, "", err
+	}
+	defer release()
+	ctx, cancel := s.computeCtx(ctx)
+	defer cancel()
 	ex, err := s.newExec()
 	if err != nil {
 		return nil, "", err

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -350,6 +351,18 @@ func TestServeTrendWithoutStoreIs503(t *testing.T) {
 	}
 	if !strings.Contains(out, "-store") {
 		t.Fatalf("503 body does not say how to fix it: %s", out)
+	}
+}
+
+func TestServeTrendMissingStoreIs404(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created")
+	ts, _ := serveTestServer(t, "", missing)
+	resp, out := getURL(t, ts.URL+"/api/v1/trend?workload=srv/count")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trend against a missing store: %d %s, want 404", resp.StatusCode, out)
+	}
+	if !strings.Contains(out, "does not exist") {
+		t.Fatalf("404 body does not explain the missing store: %s", out)
 	}
 }
 

@@ -27,6 +27,8 @@ func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	fs := flag.NewFlagSet("hpcc worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "", "serve jobs over TCP on this address (e.g. 127.0.0.1:7841) instead of stdin/stdout")
+	var tf tokenFlags
+	tf.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
@@ -42,11 +44,22 @@ func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	}
 	// The actual address matters when -listen used port 0 (tests).
 	fmt.Fprintf(stdout, "hpcc worker: listening on %s\n", ln.Addr())
-	srv := &harness.RemoteWorkerServer{Registry: harness.Default, Stderr: stderr}
+	srv := &harness.RemoteWorkerServer{Registry: harness.Default, Token: tf.token, Stderr: stderr}
 	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
 	return nil
+}
+
+// tokenFlags carries the shared fleet auth token, registered on every
+// command that speaks the remote wire: worker (checks it at handshake),
+// sweep/report/serve (send it when -remote is set). The default comes
+// from HPCC_TOKEN so a fleet can be keyed once in the environment.
+type tokenFlags struct{ token string }
+
+func (tf *tokenFlags) register(fs *flag.FlagSet) {
+	fs.StringVar(&tf.token, "token", os.Getenv("HPCC_TOKEN"),
+		"shared fleet auth token; both ends of a remote connection must present the same value (default $HPCC_TOKEN)")
 }
 
 // splitRemoteAddrs parses a -remote flag value: comma-separated
@@ -64,29 +77,45 @@ func splitRemoteAddrs(s string) ([]string, error) {
 	return out, nil
 }
 
-// newExecutor picks the engine a sweep or report runs on: the in-process
-// pool, (-shards > 0) that many child processes re-exec'ing this
-// binary's worker subcommand, or (-remote) a fleet of `hpcc worker
-// -listen` processes reached over TCP. Nonsensical counts fail here,
-// before any workload runs: the executors would quietly reinterpret them
-// (-j 0 as "one per core", negative -shards as "no sharding"), which
-// hides typos like "-j $EMPTY_VAR".
-func newExecutor(shards, jobs int, remote string, stderr io.Writer) (harness.Executor, error) {
+// validateExecutorConfig checks a -shards/-j/-remote combination without
+// constructing an executor, so serve can fail a bad configuration at
+// startup without building and discarding a live engine. Nonsensical
+// counts fail here, before any workload runs: the executors would
+// quietly reinterpret them (-j 0 as "one per core", negative -shards as
+// "no sharding"), which hides typos like "-j $EMPTY_VAR".
+func validateExecutorConfig(shards, jobs int, remote string) error {
 	if jobs < 1 {
-		return nil, fmt.Errorf("-j must be at least 1 (got %d)", jobs)
+		return fmt.Errorf("-j must be at least 1 (got %d)", jobs)
 	}
 	if shards < 0 {
-		return nil, fmt.Errorf("-shards must be non-negative (got %d; 0 means the in-process pool)", shards)
+		return fmt.Errorf("-shards must be non-negative (got %d; 0 means the in-process pool)", shards)
 	}
 	if remote != "" {
 		if shards > 0 {
-			return nil, errors.New("-remote and -shards are mutually exclusive (the fleet already is the sharding)")
+			return errors.New("-remote and -shards are mutually exclusive (the fleet already is the sharding)")
 		}
+		if _, err := splitRemoteAddrs(remote); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newExecutor picks the engine a sweep or report runs on: the in-process
+// pool, (-shards > 0) that many child processes re-exec'ing this
+// binary's worker subcommand, or (-remote) a fleet of `hpcc worker
+// -listen` processes reached over TCP, authenticated with token when one
+// is set.
+func newExecutor(shards, jobs int, remote, token string, stderr io.Writer) (harness.Executor, error) {
+	if err := validateExecutorConfig(shards, jobs, remote); err != nil {
+		return nil, err
+	}
+	if remote != "" {
 		addrs, err := splitRemoteAddrs(remote)
 		if err != nil {
 			return nil, err
 		}
-		return &harness.RemoteExecutor{Addrs: addrs, Registry: harness.Default, Stderr: stderr}, nil
+		return &harness.RemoteExecutor{Addrs: addrs, Registry: harness.Default, Token: token, Stderr: stderr}, nil
 	}
 	if shards == 0 {
 		return harness.LocalExecutor{Workers: jobs}, nil

@@ -19,9 +19,11 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -31,6 +33,11 @@ import (
 // the sweep forever behind heartbeats, so dropping kills the link and
 // forces the eviction path.
 var ErrChaosDrop = errors.New("harness: chaos dropped a wire frame")
+
+// ErrChaosRefused is the error a chaos dial fails with when the plan
+// refuses the connection outright — the executor sees it exactly where
+// a real ECONNREFUSED would land, before any byte moves.
+var ErrChaosRefused = errors.New("harness: chaos refused the dial")
 
 // ChaosPlan is a seeded recipe of per-frame misbehavior. Probabilities
 // are per frame and independent; zero values inject nothing.
@@ -60,6 +67,16 @@ type ChaosPlan struct {
 	// then ends the stream cleanly (io.EOF) — a worker vanishing
 	// mid-sweep without even a torn line.
 	CloseAfterFrames int
+	// RefuseDials fails the first N dial attempts per address with
+	// ErrChaosRefused before anything is dialed — a worker that is not
+	// up yet, the case the redial/backoff loop exists for. Counted per
+	// address, deterministically, no RNG involved.
+	RefuseDials int
+	// DropHandshakes kills the next N connections per address
+	// immediately after the dial succeeds, before the hello exchange can
+	// complete — a worker that accepts and dies, the half-up state
+	// between refused and healthy.
+	DropHandshakes int
 }
 
 // DialFunc matches RemoteExecutor.Dial.
@@ -82,13 +99,44 @@ func ChaosDial(dial DialFunc, plan ChaosPlan, addrs ...string) DialFunc {
 		faulty[a] = true
 	}
 	var conns atomic.Int64
+	// Dial-time fates are counted per address (not rolled), so "the
+	// worker is down for its first N dials" replays exactly across runs
+	// and across the executor's backoff schedule.
+	var mu sync.Mutex
+	refused := make(map[string]int)
+	dropped := make(map[string]int)
 	return func(ctx context.Context, addr string) (net.Conn, error) {
+		wrapped := len(faulty) == 0 || faulty[addr]
+		if wrapped && plan.RefuseDials > 0 {
+			mu.Lock()
+			n := refused[addr]
+			if n < plan.RefuseDials {
+				refused[addr] = n + 1
+				mu.Unlock()
+				return nil, fmt.Errorf("%w (dial %d of %d to %s)", ErrChaosRefused, n+1, plan.RefuseDials, addr)
+			}
+			mu.Unlock()
+		}
 		conn, err := dial(ctx, addr)
 		if err != nil {
 			return nil, err
 		}
-		if len(faulty) > 0 && !faulty[addr] {
+		if !wrapped {
 			return conn, nil
+		}
+		if plan.DropHandshakes > 0 {
+			mu.Lock()
+			n := dropped[addr]
+			if n < plan.DropHandshakes {
+				dropped[addr] = n + 1
+				mu.Unlock()
+				// The listener saw a connection come and go; the dialer's
+				// hello fails on the closed socket — exactly a worker that
+				// accepts and dies before speaking.
+				conn.Close()
+				return conn, nil
+			}
+			mu.Unlock()
 		}
 		return newChaosConn(conn, plan, plan.Seed*1000003+conns.Add(1)), nil
 	}

@@ -18,15 +18,35 @@ package harness
 // it fails the sweep exactly as it would under LocalExecutor. Results
 // reassemble through the same write-once assembler as every other
 // executor, which is what keeps remote output byte-identical.
+//
+// Eviction is not forever: an evicted address enters a jittered
+// exponential-backoff redial loop (bounded per address per sweep) that
+// re-dials through the same Dial seam, re-runs the full handshake, and
+// readmits the worker into the dispatch/work-stealing pool mid-sweep —
+// so a worker that was restarted, rescheduled, or briefly partitioned
+// rejoins instead of leaving the fleet one node down for the rest of
+// the sweep. While every address is down but at least one is still
+// redialing, stranded jobs park rather than fail; the sweep only dies
+// when no address can ever come back.
 
 import (
 	"context"
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
+)
+
+// Redial defaults: four attempts at 250ms doubling toward a 4s cap
+// covers a worker process restart (the common crash-loop case) without
+// holding a hopeless sweep hostage for long.
+const (
+	DefaultRedialAttempts   = 4
+	DefaultRedialBackoff    = 250 * time.Millisecond
+	DefaultRedialMaxBackoff = 4 * time.Second
 )
 
 // RemoteExecutor implements Executor across remote worker processes.
@@ -52,7 +72,25 @@ type RemoteExecutor struct {
 	// Dial overrides the transport; nil means plain TCP. Tests inject
 	// fault-laden connections here (see chaos.go).
 	Dial func(ctx context.Context, addr string) (net.Conn, error)
-	// Stderr receives eviction notes; nil discards them.
+	// Token, when non-empty, is the shared fleet auth token sent (in
+	// digest form) in the hello; it must match the workers' -token.
+	Token string
+	// RedialAttempts bounds how many reconnection attempts one evicted
+	// address gets across the whole sweep; 0 means
+	// DefaultRedialAttempts, < 0 disables redial (an evicted address
+	// stays dead, the pre-readmission behavior).
+	RedialAttempts int
+	// RedialBackoff is the base delay before the first reconnection
+	// attempt; it doubles per attempt (with deterministic per-address
+	// jitter) up to RedialMaxBackoff. <= 0 means the defaults.
+	RedialBackoff    time.Duration
+	RedialMaxBackoff time.Duration
+	// Sleep overrides how the redial loop waits out a backoff — tests
+	// inject a virtual clock here to replay schedules deterministically.
+	// A non-nil error aborts the redial. Nil sleeps on the real clock,
+	// honoring ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Stderr receives eviction/readmission notes; nil discards them.
 	Stderr io.Writer
 }
 
@@ -91,6 +129,30 @@ func (e *RemoteExecutor) handshakeTimeout() time.Duration {
 	return DefaultHandshakeTimeout
 }
 
+func (e *RemoteExecutor) redialAttempts() int {
+	if e.RedialAttempts < 0 {
+		return 0
+	}
+	if e.RedialAttempts == 0 {
+		return DefaultRedialAttempts
+	}
+	return e.RedialAttempts
+}
+
+func (e *RemoteExecutor) redialBackoff() time.Duration {
+	if e.RedialBackoff > 0 {
+		return e.RedialBackoff
+	}
+	return DefaultRedialBackoff
+}
+
+func (e *RemoteExecutor) redialMaxBackoff() time.Duration {
+	if e.RedialMaxBackoff > 0 {
+		return e.RedialMaxBackoff
+	}
+	return DefaultRedialMaxBackoff
+}
+
 // remoteSweep is one Execute call's shared state. One mutex guards all
 // of it; workers block on cond when they have neither queued work nor
 // outstanding responses to wait for.
@@ -109,8 +171,14 @@ type remoteSweep struct {
 	done      []bool  // completed or failed for good
 	errs      []error // per-job root causes, sweepErr picks the winner
 	remaining int     // jobs not yet done
-	live      []bool
-	liveCount int
+
+	// A worker address is in exactly one of three states: live (in the
+	// dispatch pool), redialing (down, but its redial loop may still
+	// readmit it — its queue holds parked jobs), or dead for good.
+	live           []bool
+	liveCount      int
+	redialing      []bool
+	redialingCount int
 
 	asm         *assembler
 	stderr      io.Writer
@@ -128,11 +196,15 @@ func (e *RemoteExecutor) Execute(ctx context.Context, jobs []Job, emit func(int,
 	if len(jobs) == 0 {
 		return nil, nil
 	}
-	ctx, cancel := context.WithCancel(ctx)
+	// The inner context is the sweep's own teardown lever: job failures
+	// cancel it, and so does the last job landing — which is what frees
+	// redialers sleeping out a backoff. The caller's ctx stays the
+	// arbiter of whether the sweep as a whole was cancelled.
+	inner, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	s := &remoteSweep{
-		ctx:         ctx,
+		ctx:         inner,
 		cancel:      cancel,
 		jobs:        jobs,
 		addrs:       e.Addrs,
@@ -143,6 +215,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, jobs []Job, emit func(int,
 		remaining:   len(jobs),
 		live:        make([]bool, len(e.Addrs)),
 		liveCount:   len(e.Addrs),
+		redialing:   make([]bool, len(e.Addrs)),
 		asm:         newAssembler(len(jobs), emit),
 		stderr:      e.Stderr,
 		maxAttempts: e.maxAttempts(),
@@ -156,7 +229,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, jobs []Job, emit func(int,
 		s.live[w] = true
 	}
 	// Cancellation must wake workers parked in cond.Wait.
-	stop := context.AfterFunc(ctx, func() {
+	stop := context.AfterFunc(inner, func() {
 		s.mu.Lock()
 		s.cond.Broadcast()
 		s.mu.Unlock()
@@ -168,7 +241,7 @@ func (e *RemoteExecutor) Execute(ctx context.Context, jobs []Job, emit func(int,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.runWorker(ctx, s, w)
+			e.runWorker(inner, s, w)
 		}(w)
 	}
 	wg.Wait()
@@ -193,6 +266,7 @@ func (e *RemoteExecutor) connect(ctx context.Context, addr string) (net.Conn, *f
 	}
 	conn.SetDeadline(time.Now().Add(e.handshakeTimeout())) //lint:ignore hpccdet socket deadlines are wall-clock I/O plumbing, not simulated time
 	local := HelloFor(e.reg(), RoleExecutor)
+	local.TokenDigest = TokenDigest(e.Token)
 	if err := EncodeWire(conn, local); err != nil {
 		conn.Close()
 		return nil, nil, fmt.Errorf("%s: send hello: %w", addr, err)
@@ -245,10 +319,14 @@ func (s *remoteSweep) take(w int, outstanding int) (int, takeAction) {
 			s.attempts[i]++
 			return i, takeJob
 		}
-		// Steal from the back of the longest live queue.
+		// Steal from the back of the longest queue that still has an
+		// owner — live, or down-but-redialing (whose queue holds parked
+		// jobs a readmission would otherwise have to wait for). A worker
+		// dead for good always has an empty queue: eviction and
+		// retirement drain it.
 		victim, max := -1, 0
 		for v := range s.queues {
-			if v != w && s.live[v] && len(s.queues[v]) > max {
+			if v != w && (s.live[v] || s.redialing[v]) && len(s.queues[v]) > max {
 				victim, max = v, len(s.queues[v])
 			}
 		}
@@ -286,7 +364,10 @@ func (s *remoteSweep) failLocked(i int, workloadID string, err error) {
 	s.cancel()
 }
 
-// complete lands job i's result.
+// complete lands job i's result. The last result cancels the sweep's
+// inner context: that is what releases redialers sleeping out a backoff
+// and sessions parked on heartbeat reads, so Execute's wait never rides
+// out their timers after the work is done.
 func (s *remoteSweep) complete(i int, res Result) {
 	s.mu.Lock()
 	if s.done[i] {
@@ -295,16 +376,21 @@ func (s *remoteSweep) complete(i int, res Result) {
 	}
 	s.done[i] = true
 	s.remaining--
+	if s.remaining == 0 {
+		s.cancel()
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.asm.complete(i, res)
 }
 
-// evict retires worker w after cause and re-dispatches every job it
-// stranded: the responses it still owed (tracker's outstanding set)
-// plus its unsent queue. A job out of send attempts, or stranded with
-// no surviving workers, fails for good instead.
-func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error) {
+// evict takes worker w out of the dispatch pool after cause and
+// re-dispatches every job it stranded: the responses it still owed
+// (tracker's outstanding set) plus its unsent queue. With willRedial the
+// address stays eligible for readmission — jobs park rather than fail
+// while it is the only hope left. A job out of send attempts, or
+// stranded with no worker that could ever run it, fails for good.
+func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error, willRedial bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.live[w] {
@@ -312,6 +398,10 @@ func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error) {
 	}
 	s.live[w] = false
 	s.liveCount--
+	if willRedial {
+		s.redialing[w] = true
+		s.redialingCount++
+	}
 	orphans := append(tracker.pending(), s.queues[w]...)
 	s.queues[w] = nil
 	defer s.cond.Broadcast()
@@ -321,9 +411,64 @@ func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error) {
 		return
 	}
 	if s.stderr != nil {
-		fmt.Fprintf(s.stderr, "hpcc remote: worker %s evicted (%v); re-dispatching %d job(s)\n",
-			s.addrs[w], cause, len(orphans))
+		note := "address abandoned"
+		if willRedial {
+			note = "redial pending"
+		}
+		fmt.Fprintf(s.stderr, "hpcc remote: worker %s evicted (%v); re-dispatching %d job(s), %s\n",
+			s.addrs[w], cause, len(orphans), note)
 	}
+	s.redistributeLocked(orphans, w, cause)
+}
+
+// readmit returns a redialing worker to the dispatch pool after a
+// successful reconnect and handshake.
+func (s *remoteSweep) readmit(w int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.redialing[w] {
+		return
+	}
+	s.redialing[w] = false
+	s.redialingCount--
+	s.live[w] = true
+	s.liveCount++
+	if s.ctx.Err() == nil && s.stderr != nil {
+		fmt.Fprintf(s.stderr, "hpcc remote: worker %s reconnected; readmitted to the pool\n", s.addrs[w])
+	}
+	s.cond.Broadcast()
+}
+
+// retire gives up on a redialing worker for good — its reconnect budget
+// is exhausted or the failure cannot heal — and redistributes whatever
+// parked on its queue while it was down.
+func (s *remoteSweep) retire(w int, attempts int, cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.redialing[w] {
+		return
+	}
+	s.redialing[w] = false
+	s.redialingCount--
+	orphans := s.queues[w]
+	s.queues[w] = nil
+	defer s.cond.Broadcast()
+	if s.ctx.Err() != nil {
+		return
+	}
+	if s.stderr != nil {
+		fmt.Fprintf(s.stderr, "hpcc remote: worker %s abandoned after %d redial attempt(s) (%v)\n",
+			s.addrs[w], attempts, cause)
+	}
+	s.redistributeLocked(orphans, w, cause)
+}
+
+// redistributeLocked re-homes jobs stranded by worker w: requeued at the
+// front of the shortest live queue so retried jobs run ahead of fresh
+// ones; with every worker down but some still redialing, parked on the
+// shortest redialing queue for a readmission (or a steal) to pick up.
+// Callers hold s.mu.
+func (s *remoteSweep) redistributeLocked(orphans []int, w int, cause error) {
 	for _, i := range orphans {
 		if s.done[i] {
 			continue
@@ -334,17 +479,22 @@ func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error) {
 		}
 		switch {
 		case s.attempts[i] >= s.maxAttempts:
-			s.failLocked(i, wid, fmt.Errorf("re-dispatch budget exhausted after %d attempts (last worker %s: %v)",
+			s.failLocked(i, wid, fmt.Errorf("re-dispatch budget exhausted after %d attempts (last worker %s: %w)",
 				s.attempts[i], s.addrs[w], cause))
-		case s.liveCount == 0:
-			s.failLocked(i, wid, fmt.Errorf("no live workers remain (worker %s: %v)", s.addrs[w], cause))
+		case s.liveCount == 0 && s.redialingCount == 0:
+			s.failLocked(i, wid, fmt.Errorf("no live workers remain (worker %s: %w)", s.addrs[w], cause))
 		default:
-			// Requeue at the front of the shortest surviving queue so
-			// retried jobs run ahead of fresh ones.
 			best, bestLen := -1, 0
 			for v := range s.queues {
 				if s.live[v] && (best < 0 || len(s.queues[v]) < bestLen) {
 					best, bestLen = v, len(s.queues[v])
+				}
+			}
+			if best < 0 {
+				for v := range s.queues {
+					if s.redialing[v] && (best < 0 || len(s.queues[v]) < bestLen) {
+						best, bestLen = v, len(s.queues[v])
+					}
 				}
 			}
 			s.queues[best] = append([]int{i}, s.queues[best]...)
@@ -352,17 +502,109 @@ func (s *remoteSweep) evict(w int, tracker *responseTracker, cause error) {
 	}
 }
 
-// runWorker owns one connection for the life of the sweep: top up the
-// pipeline window, then block for one frame (result or heartbeat) and
-// react. Every exit path other than clean completion goes through
-// evict, so no job index is ever lost with the connection.
+// runWorker owns one address for the life of the sweep. It serves
+// connection sessions; when a session dies the address is evicted (its
+// stranded jobs re-dispatch immediately) and, redial budget permitting,
+// runWorker holds it in a jittered exponential-backoff reconnect loop:
+// dial through the same seam, re-run the full handshake, and readmit
+// the worker into the pool mid-sweep. The budget is per address per
+// sweep — a flapping worker cannot consume the fleet's patience twice
+// by briefly coming back.
 func (e *RemoteExecutor) runWorker(ctx context.Context, s *remoteSweep, w int) {
+	budget := e.redialAttempts()
+	base, maxBackoff := e.redialBackoff(), e.redialMaxBackoff()
+	// Jitter is seeded by worker slot, so a schedule replays exactly
+	// under an injected Sleep clock.
+	rng := rand.New(rand.NewSource(int64(w)*6364136223846793005 + 1442695040888963407))
+	used := 0
+
 	tracker := newResponseTracker(len(s.jobs))
+	cause := e.serveAddr(ctx, s, w, tracker)
+	for {
+		if cause == nil {
+			return // sweep complete
+		}
+		// An auth refusal will not heal with time; everything else might
+		// (crashed process restarted, partition healed, fingerprint fixed
+		// by a redeploy).
+		willRedial := used < budget && ctx.Err() == nil && !errors.Is(cause, ErrTokenMismatch)
+		s.evict(w, tracker, cause, willRedial)
+		if !willRedial {
+			return
+		}
+		for {
+			used++
+			if !e.redialWait(ctx, redialBackoffFor(base, maxBackoff, used, rng)) {
+				s.retire(w, used-1, cause)
+				return
+			}
+			conn, fr, err := e.connect(ctx, s.addrs[w])
+			if err == nil {
+				s.readmit(w)
+				tracker = newResponseTracker(len(s.jobs))
+				cause = e.runSession(ctx, s, w, conn, fr, tracker)
+				break
+			}
+			cause = err
+			if errors.Is(err, ErrTokenMismatch) || used >= budget {
+				s.retire(w, used, cause)
+				return
+			}
+		}
+	}
+}
+
+// serveAddr runs one connection lifetime against address w: dial,
+// handshake, session. A nil return means the sweep completed; any error
+// is the cause the connection died with.
+func (e *RemoteExecutor) serveAddr(ctx context.Context, s *remoteSweep, w int, tracker *responseTracker) error {
 	conn, fr, err := e.connect(ctx, s.addrs[w])
 	if err != nil {
-		s.evict(w, tracker, err)
-		return
+		return err
 	}
+	return e.runSession(ctx, s, w, conn, fr, tracker)
+}
+
+// redialWait sleeps out one backoff. It returns false when the sweep
+// ended (cancelled, failed, or every job landed — all of which cancel
+// the sweep context) while waiting, which tells the redial loop to stop.
+func (e *RemoteExecutor) redialWait(ctx context.Context, d time.Duration) bool {
+	if fn := e.Sleep; fn != nil {
+		if err := fn(ctx, d); err != nil {
+			return false
+		}
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// redialBackoffFor computes attempt k's delay: base doubling per
+// attempt toward max, jittered uniformly over the upper half of the
+// interval so a fleet of redialers does not stampede the same instant.
+func redialBackoffFor(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	d := max
+	if shift := attempt - 1; shift < 30 {
+		if scaled := base << shift; scaled < max {
+			d = scaled
+		}
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(half)+1))
+}
+
+// runSession drives one live connection: top up the pipeline window,
+// then block for one frame (result or heartbeat) and react. A nil
+// return means the sweep is over; any error is the session's cause of
+// death, with tracker still holding the stranded outstanding set for
+// the eviction that follows.
+func (e *RemoteExecutor) runSession(ctx context.Context, s *remoteSweep, w int, conn net.Conn, fr *frameReader, tracker *responseTracker) error {
 	defer conn.Close()
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
@@ -374,7 +616,7 @@ func (e *RemoteExecutor) runWorker(ctx context.Context, s *remoteSweep, w int) {
 		for len(tracker.outstanding) < window {
 			i, act := s.take(w, len(tracker.outstanding))
 			if act == takeDone {
-				return
+				return nil
 			}
 			if act == takeDrain {
 				break
@@ -387,8 +629,7 @@ func (e *RemoteExecutor) runWorker(ctx context.Context, s *remoteSweep, w int) {
 			tracker.sent(i)
 			wj := WireJob{Index: i, WorkloadID: job.Workload.ID(), Params: job.Params}
 			if err := EncodeWire(conn, wj); err != nil {
-				s.evict(w, tracker, fmt.Errorf("send job %d: %w", i, err))
-				return
+				return fmt.Errorf("send job %d: %w", i, err)
 			}
 		}
 		if len(tracker.outstanding) == 0 {
@@ -403,20 +644,17 @@ func (e *RemoteExecutor) runWorker(ctx context.Context, s *remoteSweep, w int) {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				err = fmt.Errorf("no heartbeat within %v", hbTimeout)
 			}
-			s.evict(w, tracker, fmt.Errorf("awaiting %v: %w", tracker.pending(), err))
-			return
+			return fmt.Errorf("awaiting %v: %w", tracker.pending(), err)
 		}
 		resp, err := DecodeWireResponse(line)
 		if err != nil {
-			s.evict(w, tracker, err)
-			return
+			return err
 		}
 		if resp.Heartbeat {
 			continue
 		}
 		if err := tracker.answer(resp.Index); err != nil {
-			s.evict(w, tracker, err)
-			return
+			return err
 		}
 		i := resp.Index
 		if resp.Error != "" {

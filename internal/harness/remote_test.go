@@ -469,8 +469,14 @@ func TestRemoteAllWorkersUnreachable(t *testing.T) {
 	dead := ln.Addr().String()
 	ln.Close()
 	execReg := counterReg(t, new(atomic.Int32), 0)
-	_, err = (&RemoteExecutor{Addrs: []string{dead, dead}, Registry: execReg}).
-		Execute(context.Background(), counterJobs(t, execReg, 3), nil)
+	// Tiny backoffs: the redial loop still runs its full budget against
+	// the dead address, just without wall-clock cost.
+	_, err = (&RemoteExecutor{
+		Addrs:            []string{dead, dead},
+		Registry:         execReg,
+		RedialBackoff:    time.Millisecond,
+		RedialMaxBackoff: 2 * time.Millisecond,
+	}).Execute(context.Background(), counterJobs(t, execReg, 3), nil)
 	if err == nil {
 		t.Fatal("unreachable fleet reported no error")
 	}

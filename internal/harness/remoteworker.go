@@ -49,6 +49,10 @@ type RemoteWorkerServer struct {
 	// HandshakeTimeout overrides DefaultHandshakeTimeout; <= 0 keeps
 	// the default.
 	HandshakeTimeout time.Duration
+	// Token, when non-empty, is the shared fleet auth token: an executor
+	// whose hello carries a different token digest (or none) is refused
+	// at handshake with ErrTokenMismatch.
+	Token string
 	// Stderr receives per-connection failure notes; nil discards them.
 	Stderr io.Writer
 }
@@ -128,6 +132,7 @@ func (s *RemoteWorkerServer) serveConn(ctx context.Context, conn net.Conn) error
 		return err
 	}
 	local := HelloFor(s.reg(), RoleWorker)
+	local.TokenDigest = TokenDigest(s.Token)
 	// Answer with our hello even when refusing: the executor derives the
 	// same mismatch from the pair and reports it with both versions.
 	w := &lockedWriter{w: conn}

@@ -24,6 +24,9 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -221,12 +224,35 @@ const (
 // the protocol revision plus the identity of its workload registry —
 // the condensed fingerprint and the full id → kernel-version map, so a
 // mismatch can be reported naming the exact workloads and versions that
-// disagree instead of just two opaque hashes.
+// disagree instead of just two opaque hashes. TokenDigest carries the
+// fleet auth token in digest form; both sides must present the same
+// digest (or none) for the handshake to succeed.
 type WireHello struct {
 	Proto       int               `json:"proto"`
 	Role        string            `json:"role,omitempty"`
 	Fingerprint string            `json:"fingerprint"`
 	Workloads   map[string]string `json:"workloads,omitempty"`
+	TokenDigest string            `json:"token_digest,omitempty"`
+}
+
+// ErrTokenMismatch reports a handshake whose fleet auth tokens disagree.
+// It is a sentinel so transports can decide policy on it — in particular
+// the redial loop gives up immediately, because an auth failure does not
+// heal with time the way a crashed process does.
+var ErrTokenMismatch = errors.New("harness: fleet auth token mismatch")
+
+// TokenDigest derives the hello form of a shared fleet token. The raw
+// secret never crosses the wire: both sides exchange this digest and
+// compare in constant time. The empty token maps to the empty digest,
+// which is what "no auth configured" looks like on the wire. This is an
+// access-control latch against accidental cross-fleet connections, not
+// cryptographic channel security — the wire itself is plaintext TCP.
+func TokenDigest(token string) string {
+	if token == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte("hpcc-fleet-token\x00" + token))
+	return hex.EncodeToString(sum[:])
 }
 
 // HelloFor builds the hello one side of a connection announces for its
@@ -263,6 +289,16 @@ func DecodeWireHello(line []byte) (WireHello, error) {
 func CheckHello(local, remote WireHello) error {
 	if local.Proto != remote.Proto {
 		return fmt.Errorf("harness: wire protocol mismatch: local proto %d, remote proto %d", local.Proto, remote.Proto)
+	}
+	if subtle.ConstantTimeCompare([]byte(local.TokenDigest), []byte(remote.TokenDigest)) != 1 {
+		switch {
+		case local.TokenDigest == "":
+			return fmt.Errorf("%w: peer requires a token and none was supplied (set -token or HPCC_TOKEN)", ErrTokenMismatch)
+		case remote.TokenDigest == "":
+			return fmt.Errorf("%w: a token was supplied but the peer does not expect one", ErrTokenMismatch)
+		default:
+			return fmt.Errorf("%w: the supplied token is not the peer's token", ErrTokenMismatch)
+		}
 	}
 	if local.Fingerprint == remote.Fingerprint {
 		return nil

@@ -312,6 +312,62 @@ func TestCheckHelloMismatches(t *testing.T) {
 	}
 }
 
+func TestTokenDigest(t *testing.T) {
+	if TokenDigest("") != "" {
+		t.Fatal("empty token must digest to the empty string, not a hash of nothing")
+	}
+	a, b := TokenDigest("sesame"), TokenDigest("sesame")
+	if a == "" || a != b {
+		t.Fatalf("digest not deterministic: %q vs %q", a, b)
+	}
+	if a == "sesame" || strings.Contains(a, "sesame") {
+		t.Fatal("token digest leaks the token")
+	}
+	if TokenDigest("other") == a {
+		t.Fatal("distinct tokens share a digest")
+	}
+}
+
+func TestCheckHelloTokenMismatch(t *testing.T) {
+	mk := func(token string) WireHello {
+		reg := NewRegistry()
+		if err := reg.Register(echo("w/a")); err != nil {
+			t.Fatal(err)
+		}
+		h := HelloFor(reg, RoleWorker)
+		h.TokenDigest = TokenDigest(token)
+		return h
+	}
+	cases := []struct {
+		name         string
+		local, peer  string
+		wantMismatch bool
+		wantHint     string
+	}{
+		{"both empty", "", "", false, ""},
+		{"matching", "sesame", "sesame", false, ""},
+		{"wrong token", "sesame", "tahini", true, "not the peer's token"},
+		{"peer requires one", "", "sesame", true, "set -token or HPCC_TOKEN"},
+		{"peer expects none", "sesame", "", true, "does not expect one"},
+	}
+	for _, tc := range cases {
+		err := CheckHello(mk(tc.local), mk(tc.peer))
+		if !tc.wantMismatch {
+			if err != nil {
+				t.Errorf("%s: refused: %v", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTokenMismatch) {
+			t.Errorf("%s: want ErrTokenMismatch, got %v", tc.name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantHint) {
+			t.Errorf("%s: error missing %q: %v", tc.name, tc.wantHint, err)
+		}
+	}
+}
+
 func TestDecodeWireResponse(t *testing.T) {
 	hb, err := DecodeWireResponse([]byte(`{"heartbeat":true}`))
 	if err != nil || !hb.Heartbeat {

@@ -1,0 +1,42 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckDistinguishesMissingFromEmpty(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "never-created")
+	st, err := Open(missing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.Check()
+	if !errors.Is(err, ErrNoStore) {
+		t.Fatalf("missing directory: got %v, want ErrNoStore in the chain", err)
+	}
+
+	existing := t.TempDir()
+	st, err = Open(existing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Check(); err != nil {
+		t.Fatalf("existing empty store failed Check: %v", err)
+	}
+
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err = Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = st.Check()
+	if err == nil || errors.Is(err, ErrNoStore) {
+		t.Fatalf("file-as-store: got %v, want a non-ErrNoStore error", err)
+	}
+}

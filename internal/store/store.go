@@ -141,6 +141,31 @@ func Open(dir string) (*Store, error) {
 	return &Store{dir: dir}, nil
 }
 
+// ErrNoStore marks a read against a store directory that has never been
+// created: a different failure from "the store exists but holds no
+// snapshots", and the one read-only surfaces (hpcc trend, /api/v1/trend)
+// map to a not-found answer instead of a generic failure.
+var ErrNoStore = errors.New("store: store directory does not exist")
+
+// Check reports whether the store directory actually exists on disk. A
+// missing directory wraps ErrNoStore; a path that exists but is not a
+// directory is its own error. Open stays lazy (a store is created on
+// first Append), so read-only commands call Check to distinguish "never
+// created" from "created but empty".
+func (s *Store) Check() error {
+	fi, err := os.Stat(s.dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s (run with -store %s first)", ErrNoStore, s.dir, s.dir)
+	}
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", s.dir, err)
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("store: %s exists but is not a directory", s.dir)
+	}
+	return nil
+}
+
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
