@@ -11,6 +11,8 @@
 //	hpcc run <workload-id> [-quick] [-seed S] [-p name=value] [-json] [-store DIR]
 //	hpcc sweep [-ids a,b,c] [-j N] [-shards N] [-json] [-store DIR]
 //	hpcc sweep -param nb -values 4,8,16 linpack/delta
+//	hpcc sweep -journal .hpcc-journal ...   # crash-safe: checkpoint each job
+//	hpcc resume -journal .hpcc-journal      # finish an interrupted sweep
 //	hpcc worker   # shard child: JSONL jobs on stdin, results on stdout
 //	hpcc worker -listen 127.0.0.1:7841   # remote fleet worker over TCP
 //	hpcc sweep -remote host1:7841,host2:7841   # sweep across a fleet
@@ -29,16 +31,47 @@ import (
 	"context"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/cli"
 )
 
+// exitCode maps a termination signal to the conventional 128+N shell
+// exit code (130 for SIGINT, 143 for SIGTERM).
+func exitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 130
+}
+
 func main() {
-	// Interrupts cancel the context instead of killing the process, so
-	// the long-lived modes (serve, worker -listen) drain gracefully and
-	// sweeps stop their workers; a second interrupt kills hard as usual.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	os.Exit(cli.MainContext(ctx, os.Args[1:], os.Stdout, os.Stderr))
+	// A first interrupt cancels the context instead of killing the
+	// process, so the long-lived modes (serve, worker -listen) drain
+	// gracefully and sweeps stop dispatch, finish in-flight jobs within
+	// their -drain grace, and flush journal/store; the process then
+	// exits with the conventional 128+signal code so callers (and the CI
+	// drain gates) can tell an interrupted run from a completed or
+	// failed one. A second interrupt kills hard immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	var sigCode atomic.Int64
+	go func() {
+		sig := <-sigs
+		sigCode.Store(int64(exitCode(sig)))
+		cancel()
+		sig = <-sigs
+		os.Exit(exitCode(sig))
+	}()
+	code := cli.MainContext(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	// A signal-interrupted invocation reports the signal even when the
+	// drained command itself wound down cleanly: "finished because asked
+	// to stop" must stay distinguishable from "finished".
+	if n := sigCode.Load(); n != 0 {
+		code = int(n)
+	}
+	os.Exit(code)
 }

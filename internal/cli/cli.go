@@ -67,6 +67,7 @@ func commands() []command {
 		{"list", "list the registered workloads and their parameters", cmdList},
 		{"run", "run one workload by ID", cmdRun},
 		{"sweep", "run a set of workloads, or one workload over parameter values", cmdSweep},
+		{"resume", "finish an interrupted -journal run/sweep/report from its checkpoint", cmdResume},
 		{"worker", "serve sweep jobs from stdin as JSONL, or over TCP with -listen", cmdWorker},
 		{"serve", "long-lived HTTP JSON API over run/sweep/report/trend", cmdServe},
 		{"diff", "compare two stored snapshots and flag metric regressions", cmdDiff},

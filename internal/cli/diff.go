@@ -62,6 +62,7 @@ func (sf *storeFlags) persist(ctx context.Context, entries []store.Entry, stderr
 	if err != nil {
 		return err
 	}
+	st.SetWarnWriter(stderr)
 	runID, err := st.Append(store.Meta{Commit: commit, Tag: sf.tag}, entries)
 	if err != nil {
 		return err
@@ -126,6 +127,7 @@ func cmdDiff(ctx context.Context, args []string, stdout, stderr io.Writer) error
 	if err != nil {
 		return err
 	}
+	st.SetWarnWriter(stderr)
 	snaps, err := st.Snapshots()
 	if err != nil {
 		return err

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/report"
@@ -87,10 +88,17 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	tf.register(fs)
 	var bf budgetFlags
 	bf.register(fs)
+	var jf journalFlags
+	jf.register(fs)
+	var df drainFlags
+	df.register(fs)
 	if err := fs.Parse(args); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	if err := jf.validate(); err != nil {
 		return err
 	}
 	if err := xf.apply(); err != nil {
@@ -103,8 +111,6 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	if err != nil {
 		return err
 	}
-	ctx, cancelBudget := bf.apply(ctx)
-	defer cancelBudget()
 
 	reportParams := harness.Params{Quick: *quick}
 	prog := core.NewProgram()
@@ -114,7 +120,9 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		if err != nil {
 			return err
 		}
-		res, err := runCached(ctx, resultCache, w, reportParams, stderr)
+		ctx, cancelBudget := bf.apply(ctx)
+		defer cancelBudget()
+		res, err := runSingle(ctx, &jf, resultCache, w, reportParams, *jsonOut, stderr)
 		if err != nil {
 			return bf.explain(err)
 		}
@@ -123,32 +131,93 @@ func cmdReport(ctx context.Context, args []string, stdout, stderr io.Writer) err
 		}
 		return sf.persist(ctx, []store.Entry{{Params: reportParams, Result: res}}, stderr)
 	}
-	ex, err := newExecutor(*shards, *jobs, *remote, tf.token, stderr)
+	// The signal context drives the executor's drain channel directly:
+	// a SIGINT/SIGTERM stops dispatch at once while in-flight exhibits
+	// finish under the -drain grace; -budget layers on top so an expiry
+	// cancels outright and surfaces as DeadlineExceeded.
+	ex, drains, err := newExecutor(*shards, *jobs, *remote, tf.token, ctx.Done(), stderr)
 	if err != nil {
 		return err
 	}
-	ex = wrapExecutor(ex, resultCache)
+	headerJobs, err := reportJobs(prog, reportParams)
+	if err != nil {
+		return err
+	}
+	done, err := jf.open("report", headerJobs, *jsonOut, stderr)
+	if err != nil {
+		return err
+	}
+	ex = jf.wrap(wrapExecutor(ex, resultCache), done)
+	jobCtx, stopGrace := df.wrap(ctx, drains)
+	defer stopGrace()
+	runBase, cancelBudget := bf.apply(jobCtx)
+	defer cancelBudget()
 	// Text output streams: each exhibit prints as soon as every exhibit
 	// before it has finished, so long reports show progress. The bytes
 	// are identical to the old print-at-the-end path.
-	runCtx, cancelRun := context.WithCancel(ctx)
+	runCtx, cancelRun := context.WithCancel(runBase)
 	defer cancelRun()
 	emit, emitErr := streamEmitter(jsonOut, cancelRun, func(r harness.Result) error {
 		return core.WriteResult(stdout, r)
 	})
 	results, err := prog.ReportResultsExec(runCtx, ex, emit)
 	if werr := *emitErr; werr != nil {
+		jf.finish(werr, stderr)
 		return werr
 	}
 	if err != nil {
+		if persistableErr(err) {
+			sf.persistPrefix(ctx, results, func(int) harness.Params { return reportParams }, stderr)
+		}
+		jf.finish(err, stderr)
 		return bf.explain(err)
 	}
 	if *jsonOut {
 		if err := writeJSON(stdout, results); err != nil {
+			jf.finish(err, stderr)
 			return err
 		}
 	}
+	jf.finish(nil, stderr)
 	return sf.persistResults(ctx, results, func(int) harness.Params { return reportParams }, stderr)
+}
+
+// reportJobs mirrors the job list ReportResultsExec builds (same
+// exhibits, same paper order, same params) so the journal header can
+// record the report's identity without running anything.
+func reportJobs(prog *core.Program, params harness.Params) ([]harness.Job, error) {
+	exps := prog.Experiments()
+	jobs := make([]harness.Job, len(exps))
+	for i, e := range exps {
+		w, err := prog.ExperimentWorkload(e.ID)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = harness.Job{Workload: w, Params: params}
+	}
+	return jobs, nil
+}
+
+// runSingle runs one workload the way run and report -e do — but when
+// -journal is set, it routes through the single-job executor stack so
+// the result checkpoints and a completed journal replays without
+// rerunning. Without -journal it is exactly the old runCached path.
+func runSingle(ctx context.Context, jf *journalFlags, resultCache *cache.Cache, w harness.Workload, params harness.Params, jsonOut bool, stderr io.Writer) (harness.Result, error) {
+	if jf.dir == "" {
+		return runCached(ctx, resultCache, w, params, stderr)
+	}
+	jobList := []harness.Job{{Workload: w, Params: params}}
+	done, err := jf.open("run", jobList, jsonOut, stderr)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	ex := jf.wrap(wrapExecutor(harness.LocalExecutor{Workers: 1}, resultCache), done)
+	results, err := ex.Execute(ctx, jobList, nil)
+	jf.finish(err, stderr)
+	if err != nil {
+		return harness.Result{}, err
+	}
+	return results[0], nil
 }
 
 // streamEmitter adapts a per-result writer into an Executor emit
@@ -252,12 +321,17 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 	ssf.register(fs)
 	var bf budgetFlags
 	bf.register(fs)
+	var jf journalFlags
+	jf.register(fs)
 	// Accept both "run <id> [flags]" and "run [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	if err := jf.validate(); err != nil {
 		return err
 	}
 	if err := xf.apply(); err != nil {
@@ -285,7 +359,7 @@ func cmdRun(ctx context.Context, args []string, stdout, stderr io.Writer) error 
 		return err
 	}
 	params := harness.Params{Quick: *quick, Seed: *seed, Values: overrides.vals}
-	res, err := runCached(ctx, resultCache, w, params, stderr)
+	res, err := runSingle(ctx, &jf, resultCache, w, params, *jsonOut, stderr)
 	if err != nil {
 		return bf.explain(err)
 	}
@@ -321,12 +395,19 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	tf.register(fs)
 	var bf budgetFlags
 	bf.register(fs)
+	var jf journalFlags
+	jf.register(fs)
+	var df drainFlags
+	df.register(fs)
 	// Accept both "sweep <id> [flags]" and "sweep [flags] <id>".
 	id, rest := splitLeadingID(args)
 	if err := fs.Parse(rest); err != nil {
 		return parseErr(err)
 	}
 	if err := sf.validate(); err != nil {
+		return err
+	}
+	if err := jf.validate(); err != nil {
 		return err
 	}
 	if err := xf.apply(); err != nil {
@@ -339,8 +420,6 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
-	ctx, cancelBudget := bf.apply(ctx)
-	defer cancelBudget()
 	if id == "" && fs.NArg() == 1 {
 		id = fs.Arg(0)
 	} else if fs.NArg() > 0 {
@@ -386,33 +465,56 @@ func cmdSweep(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		jobList = harness.WorkloadJobs(ws, base)
 	}
 
-	ex, err := newExecutor(*shards, *jobs, *remote, tf.token, stderr)
+	// The signal context drives the executor's drain channel directly:
+	// a SIGINT/SIGTERM stops dispatch at once, while jobs run under the
+	// drained jobCtx that outlives the signal by the -drain grace. The
+	// -budget deadline layers on top so an expiry cancels jobs outright
+	// (it must surface as DeadlineExceeded, not a drain).
+	ex, drains, err := newExecutor(*shards, *jobs, *remote, tf.token, ctx.Done(), stderr)
 	if err != nil {
 		return err
 	}
-	ex = wrapExecutor(ex, resultCache)
+	done, err := jf.open("sweep", jobList, *jsonOut, stderr)
+	if err != nil {
+		return err
+	}
+	ex = jf.wrap(wrapExecutor(ex, resultCache), done)
+	jobCtx, stopGrace := df.wrap(ctx, drains)
+	defer stopGrace()
+	runBase, cancelBudget := bf.apply(jobCtx)
+	defer cancelBudget()
 	// Text output streams: each point prints as soon as every point
 	// before it has finished, so huge sweeps show progress; the bytes
 	// are identical to the old print-at-the-end path. Printing precedes
 	// persisting either way: a store failure must not discard results
 	// the sweep already produced.
-	runCtx, cancelRun := context.WithCancel(ctx)
+	runCtx, cancelRun := context.WithCancel(runBase)
 	defer cancelRun()
 	emit, emitErr := streamEmitter(jsonOut, cancelRun, func(r harness.Result) error {
 		return writeSweepResult(stdout, r)
 	})
 	results, err := ex.Execute(runCtx, jobList, emit)
 	if werr := *emitErr; werr != nil {
+		jf.finish(werr, stderr)
 		return werr
 	}
 	if err != nil {
+		// An interrupted or budget-expired sweep still persists its
+		// completed prefix — that is the whole point of crash safety —
+		// and the kept journal prints the resume command.
+		if persistableErr(err) {
+			sf.persistPrefix(ctx, results, func(i int) harness.Params { return jobList[i].Params }, stderr)
+		}
+		jf.finish(err, stderr)
 		return bf.explain(err)
 	}
 	if *jsonOut {
 		if err := writeJSON(stdout, results); err != nil {
+			jf.finish(err, stderr)
 			return err
 		}
 	}
+	jf.finish(nil, stderr)
 	// jobList mirrors the per-result parameters so persisted records
 	// carry the exact point each result ran at.
 	return sf.persistResults(ctx, results, func(i int) harness.Params { return jobList[i].Params }, stderr)

@@ -46,6 +46,7 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	storeDir := fs.String("store", "", "serve /api/v1/trend from the run store in this directory (e.g. "+store.DefaultDir+")")
 	pool := fs.Int("pool", 4, "max compute requests running executors at once; the rest queue or bounce")
 	queue := fs.Int("queue", 16, "max compute requests waiting for an executor slot before new ones get 429")
+	drain := fs.Duration("drain", 10*time.Second, "on SIGINT/SIGTERM, stop accepting and let in-flight requests finish for up to this long before closing (0 = close immediately)")
 	var cf cacheFlags
 	cf.register(fs)
 	var xf collectivesFlags
@@ -90,7 +91,8 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 		budget:   bf.d,
 		admit:    newAdmitter(*pool, *queue),
 		newExec: func() (harness.Executor, error) {
-			return newExecutor(*shards, *jobs, *remote, tf.token, stderr)
+			ex, _, err := newExecutor(*shards, *jobs, *remote, tf.token, nil, stderr)
+			return ex, err
 		},
 	}
 	ln, err := net.Listen("tcp", *addr)
@@ -99,18 +101,25 @@ func cmdServe(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	}
 	// The actual address matters when -addr used port 0 (tests).
 	fmt.Fprintf(stdout, "hpcc serve: listening on http://%s\n", ln.Addr())
+	// Request contexts descend from the drained context, not ctx
+	// itself: otherwise a SIGTERM would kill every in-flight request
+	// instantly and the Shutdown grace below would have nothing left to
+	// protect.
+	reqCtx, stopGrace := harness.WithDrain(ctx, *drain)
+	defer stopGrace()
 	hs := &http.Server{
 		Handler:     srv.handler(),
-		BaseContext: func(net.Listener) context.Context { return ctx },
+		BaseContext: func(net.Listener) context.Context { return reqCtx },
 	}
 	errc := make(chan error, 1)
 	//lint:ignore hpccwire hs.Serve is shut down by the ctx-driven Shutdown in the select below; threading ctx into the accept loop itself is http.Server's job
 	go func() { errc <- hs.Serve(ln) }()
 	select {
 	case <-ctx.Done():
-		// Graceful drain: in-flight requests get a grace period, then the
-		// door closes hard.
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain: the listener closes (new requests refused),
+		// in-flight requests get the -drain grace, then the door closes
+		// hard.
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		hs.Shutdown(sctx)
 		return nil
@@ -436,6 +445,7 @@ func (s *server) handleTrend(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	st.SetWarnWriter(s.stderr)
 	if err := st.Check(); err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, store.ErrNoStore) {

@@ -55,6 +55,7 @@ func cmdTrend(ctx context.Context, args []string, stdout, stderr io.Writer) erro
 	if err != nil {
 		return err
 	}
+	st.SetWarnWriter(stderr)
 	// A store that was never created gets the typed ErrNoStore, distinct
 	// from "exists but holds no snapshots" below.
 	if err := st.Check(); err != nil {

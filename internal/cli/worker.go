@@ -27,6 +27,7 @@ func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	fs := flag.NewFlagSet("hpcc worker", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listen := fs.String("listen", "", "serve jobs over TCP on this address (e.g. 127.0.0.1:7841) instead of stdin/stdout")
+	drain := fs.Duration("drain", 0, "with -listen: on shutdown, let in-flight jobs finish for up to this long before closing connections (0 = close immediately)")
 	var tf tokenFlags
 	tf.register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -44,7 +45,7 @@ func cmdWorker(ctx context.Context, args []string, stdout, stderr io.Writer) err
 	}
 	// The actual address matters when -listen used port 0 (tests).
 	fmt.Fprintf(stdout, "hpcc worker: listening on %s\n", ln.Addr())
-	srv := &harness.RemoteWorkerServer{Registry: harness.Default, Token: tf.token, Stderr: stderr}
+	srv := &harness.RemoteWorkerServer{Registry: harness.Default, Token: tf.token, DrainGrace: *drain, Stderr: stderr}
 	if err := srv.Serve(ctx, ln); err != nil && !errors.Is(err, context.Canceled) {
 		return err
 	}
@@ -106,28 +107,35 @@ func validateExecutorConfig(shards, jobs int, remote string) error {
 // binary's worker subcommand, or (-remote) a fleet of `hpcc worker
 // -listen` processes reached over TCP, authenticated with token when one
 // is set.
-func newExecutor(shards, jobs int, remote, token string, stderr io.Writer) (harness.Executor, error) {
+//
+// drain, when non-nil, is handed to executors that support graceful
+// draining (the pool and -shards: dispatch stops when it fires,
+// in-flight jobs finish). The second return says whether the chosen
+// executor honors it — RemoteExecutor does not, so its callers skip the
+// drain grace and cancel outright on a signal.
+func newExecutor(shards, jobs int, remote, token string, drain <-chan struct{}, stderr io.Writer) (harness.Executor, bool, error) {
 	if err := validateExecutorConfig(shards, jobs, remote); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if remote != "" {
 		addrs, err := splitRemoteAddrs(remote)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return &harness.RemoteExecutor{Addrs: addrs, Registry: harness.Default, Token: token, Stderr: stderr}, nil
+		return &harness.RemoteExecutor{Addrs: addrs, Registry: harness.Default, Token: token, Stderr: stderr}, false, nil
 	}
 	if shards == 0 {
-		return harness.LocalExecutor{Workers: jobs}, nil
+		return harness.LocalExecutor{Workers: jobs, Drain: drain}, true, nil
 	}
 	exe, err := os.Executable()
 	if err != nil {
-		return nil, fmt.Errorf("shards: locate worker binary: %w", err)
+		return nil, false, fmt.Errorf("shards: locate worker binary: %w", err)
 	}
 	return &harness.ShardExecutor{
 		Shards: shards,
 		Argv:   []string{exe, "worker"},
 		Env:    []string{workerEnv + "=1"},
 		Stderr: stderr,
-	}, nil
+		Drain:  drain,
+	}, true, nil
 }

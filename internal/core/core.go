@@ -290,11 +290,14 @@ func (p *Program) ReportResultsExec(ctx context.Context, ex harness.Executor, em
 	}
 	results, err := ex.Execute(ctx, jobs, emit)
 	if err != nil {
+		// The completed prefix travels with the error (the Executor
+		// contract), so an interrupted report can still persist or
+		// journal the exhibits that finished.
 		var je *harness.JobError
 		if errors.As(err, &je) {
-			return nil, fmt.Errorf("core: %s: %w", je.WorkloadID, je.Err)
+			return results, fmt.Errorf("core: %s: %w", je.WorkloadID, je.Err)
 		}
-		return nil, fmt.Errorf("core: report: %w", err)
+		return results, fmt.Errorf("core: report: %w", err)
 	}
 	return results, nil
 }

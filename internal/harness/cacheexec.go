@@ -99,7 +99,7 @@ func (e *CachingExecutor) Execute(ctx context.Context, jobs []Job, emit func(int
 	if err != nil {
 		var je *JobError
 		if errors.As(err, &je) && je.Index >= 0 && je.Index < len(missIdx) {
-			err = &JobError{Index: missIdx[je.Index], WorkloadID: je.WorkloadID, Err: je.Err}
+			err = &JobError{Index: missIdx[je.Index], WorkloadID: je.WorkloadID, Panic: je.Panic, Err: je.Err}
 		}
 	}
 	// The assembler's completed prefix is exactly the contract: hits past

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrDrained reports that a sweep stopped dispatching because its drain
+// channel closed — a graceful shutdown, not a failure. The completed
+// prefix returned alongside it is valid and safe to persist or journal;
+// callers typically print a resume hint and exit with the signal's code.
+var ErrDrained = errors.New("harness: sweep drained before completion")
+
+// WithDrain derives a context that outlives parent's cancellation by up
+// to grace: when parent is cancelled the returned context stays live for
+// the grace period so in-flight work can finish, then cancels. Cancelling
+// the returned CancelFunc cancels immediately and releases the timer.
+// grace <= 0 degenerates to plain context.WithCancel(parent) — no grace,
+// today's hard-cancel behavior.
+//
+// This is the graceful-shutdown primitive shared by the CLI (in-flight
+// sweep jobs drain under it after SIGINT/SIGTERM), `hpcc serve` (request
+// contexts survive shutdown long enough to finish), and
+// RemoteWorkerServer (in-flight wire jobs complete before connections
+// close).
+func WithDrain(parent context.Context, grace time.Duration) (context.Context, context.CancelFunc) {
+	if grace <= 0 {
+		return context.WithCancel(parent)
+	}
+	ctx, cancel := context.WithCancel(context.WithoutCancel(parent))
+	stop := context.AfterFunc(parent, func() {
+		t := time.AfterFunc(grace, cancel)
+		// If ctx is cancelled first (caller done, or CancelFunc), stop
+		// the grace timer so it doesn't linger.
+		context.AfterFunc(ctx, func() { t.Stop() })
+	})
+	return ctx, func() { stop(); cancel() }
+}

@@ -6,11 +6,13 @@ import (
 )
 
 // Executor runs a batch of sweep jobs and assembles their Results in job
-// order. Two implementations exist: LocalExecutor, the in-process
-// goroutine pool Sweep has always used, and ShardExecutor (shard.go),
-// which fans jobs out to child worker processes over the JSONL wire
-// protocol in wire.go. Both promise the same contract, so output is
-// byte-identical whichever executor a sweep runs on.
+// order. Several implementations exist: LocalExecutor, the in-process
+// goroutine pool Sweep has always used; ShardExecutor (shard.go), which
+// fans jobs out to child worker processes over the JSONL wire protocol
+// in wire.go; RemoteExecutor (remote.go) over TCP; and the wrapping
+// CachingExecutor (cacheexec.go) and JournalingExecutor (journal.go).
+// All promise the same contract, so output is byte-identical whichever
+// executor a sweep runs on.
 type Executor interface {
 	// Execute runs jobs and returns their Results in job order. On
 	// failure it returns the error of the lowest-indexed failed job
@@ -21,6 +23,9 @@ type Executor interface {
 	// ascending index order as the completed prefix grows, so callers
 	// can stream finished results while later jobs are still running.
 	// Calls are serialized; emit never runs concurrently with itself.
+	// After a contained panic (JobError.Panic) the failed index is
+	// skipped and later results keep emitting in ascending order, but
+	// the returned slice still ends before the first failed slot.
 	Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error)
 }
 
@@ -29,23 +34,33 @@ type Executor interface {
 type LocalExecutor struct {
 	// Workers is the pool size; < 1 means DefaultWorkers().
 	Workers int
+	// Drain, when non-nil, requests a graceful stop when it closes:
+	// dispatch halts, in-flight jobs run to completion under ctx, and
+	// Execute returns the completed prefix with ErrDrained. A nil
+	// channel never drains.
+	Drain <-chan struct{}
 }
 
 // Execute implements Executor on the in-process pool.
 func (e LocalExecutor) Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error) {
-	return sweepEmit(ctx, jobs, e.Workers, emit)
+	return sweepEmit(ctx, jobs, e.Workers, e.Drain, emit)
 }
 
 // assembler collects out-of-order job completions and surfaces them as
 // an in-order completed prefix: results[i] becomes visible (and is
-// emitted) only once every result before it has landed. Both executors
-// share it, which is what keeps their output byte-identical.
+// emitted) only once every result before it has landed. Every executor
+// shares it, which is what keeps their output byte-identical.
 type assembler struct {
 	mu      sync.Mutex
 	results []Result
 	done    []bool
+	failed  []bool
 	next    int // first index not yet part of the completed prefix
-	emit    func(int, Result)
+	// firstFailed is the lowest failed slot (len(results) when none):
+	// the frontier may advance past failed slots so later results still
+	// emit, but the completed prefix ends before the first one.
+	firstFailed int
+	emit        func(int, Result)
 	// emitMu serializes emit batches without holding mu, so a slow
 	// consumer stalls only the emitting goroutine — the rest of the pool
 	// keeps completing jobs and buffering results.
@@ -53,7 +68,7 @@ type assembler struct {
 }
 
 func newAssembler(n int, emit func(int, Result)) *assembler {
-	return &assembler{results: make([]Result, n), done: make([]bool, n), emit: emit}
+	return &assembler{results: make([]Result, n), done: make([]bool, n), failed: make([]bool, n), firstFailed: n, emit: emit}
 }
 
 // complete records job i's result and advances the completed prefix,
@@ -61,6 +76,28 @@ func newAssembler(n int, emit func(int, Result)) *assembler {
 func (a *assembler) complete(i int, r Result) {
 	a.mu.Lock()
 	a.results[i] = r
+	//lint:ignore hpcclock finish is the tail of this critical section: it releases a.mu itself, and the emitMu it takes is ordered mu→emitMu everywhere
+	a.finish(i)
+}
+
+// fail marks slot i done-without-result — a contained panic. The
+// frontier advances past it so every later result still emits, but
+// completed() ends before it: no slot a caller receives ever holds a
+// placeholder.
+func (a *assembler) fail(i int) {
+	a.mu.Lock()
+	a.failed[i] = true
+	if i < a.firstFailed {
+		a.firstFailed = i
+	}
+	//lint:ignore hpcclock finish is the tail of this critical section: it releases a.mu itself, and the emitMu it takes is ordered mu→emitMu everywhere
+	a.finish(i)
+}
+
+// finish is the shared tail of complete and fail: called with mu held
+// (and releasing it), it advances the frontier and emits the newly
+// contiguous non-failed results in index order.
+func (a *assembler) finish(i int) {
 	a.done[i] = true
 	start := a.next
 	for a.next < len(a.done) && a.done[a.next] {
@@ -78,16 +115,24 @@ func (a *assembler) complete(i int, r Result) {
 	a.emitMu.Lock()
 	a.mu.Unlock()
 	for j := start; j < end; j++ {
+		if a.failed[j] {
+			continue
+		}
 		a.emit(j, a.results[j])
 	}
 	a.emitMu.Unlock()
 }
 
-// completed returns the longest fully-completed prefix of results. After
-// a failure this is exactly the set of results safe to use: every slot
-// holds a real result, never a placeholder.
+// completed returns the longest fully-completed prefix of results,
+// ending before the first failed slot. After a failure this is exactly
+// the set of results safe to use: every slot holds a real result, never
+// a placeholder.
 func (a *assembler) completed() []Result {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.results[:a.next]
+	end := a.next
+	if a.firstFailed < end {
+		end = a.firstFailed
+	}
+	return a.results[:end]
 }

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"context"
+	"errors"
+)
+
+// JournalSink is the write surface JournalingExecutor needs from a sweep
+// journal. repro/internal/journal implements it on an fsync'd JSONL
+// file; tests use in-memory fakes. Record is called from the assembler's
+// in-order emit path, so calls arrive in strictly ascending index order
+// and are never concurrent.
+type JournalSink interface {
+	// Record durably appends one completed (index, Result) pair. A
+	// returned error does not fail the sweep — the result is already in
+	// hand — but it does mean a crash could lose that slot.
+	Record(index int, res Result) error
+}
+
+// JournalingExecutor wraps any executor with crash-safe checkpointing:
+// every result the inner executor completes is written to Sink *before*
+// it is surfaced (write-ahead discipline — a result the caller has seen
+// is always on disk), and indexes already present in Done replay as
+// instant hits without re-running. Resume is therefore just "reopen the
+// journal, load Done, run the same jobs again": only the remainder
+// dispatches, and because hits and misses flow through the shared
+// in-order assembler, resumed output is byte-identical to an
+// uninterrupted run.
+type JournalingExecutor struct {
+	// Inner runs the jobs not already in Done. Required.
+	Inner Executor
+	// Sink receives each newly completed (index, Result). Required
+	// unless Done alone should replay (nil Sink skips recording).
+	Sink JournalSink
+	// Done maps job index → already-journaled Result from a previous
+	// attempt; those indexes complete immediately. May be nil or empty
+	// on a fresh run.
+	Done map[int]Result
+
+	// RecordErrors counts results that completed but could not be
+	// journaled during the most recent Execute. Written
+	// single-threadedly during Execute; read it only after it returns.
+	RecordErrors int
+}
+
+// Execute implements Executor. Journaled jobs complete immediately; the
+// rest are forwarded to the inner executor in their original relative
+// order, with results mapped back to their original indices (including
+// the index inside a returned *JobError).
+func (e *JournalingExecutor) Execute(ctx context.Context, jobs []Job, emit func(int, Result)) ([]Result, error) {
+	if e.Inner == nil {
+		return nil, errors.New("harness: journaling executor has no inner executor")
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	e.RecordErrors = 0
+
+	asm := newAssembler(len(jobs), emit)
+	var missJobs []Job
+	var missIdx []int
+	for i, job := range jobs {
+		if res, ok := e.Done[i]; ok {
+			if res.WorkloadID == "" && job.Workload != nil {
+				res.WorkloadID = job.Workload.ID()
+			}
+			asm.complete(i, res)
+			continue
+		}
+		missJobs = append(missJobs, job)
+		missIdx = append(missIdx, i)
+	}
+	if len(missJobs) == 0 {
+		return asm.completed(), nil
+	}
+
+	_, err := e.Inner.Execute(ctx, missJobs, func(sub int, r Result) {
+		orig := missIdx[sub]
+		if e.Sink != nil {
+			// Record before surfacing: if the append fails the sweep
+			// still proceeds, but a result is never handed out while its
+			// journal entry is in doubt *behind* one that is on disk.
+			if rerr := e.Sink.Record(orig, r); rerr != nil {
+				e.RecordErrors++
+			}
+		}
+		asm.complete(orig, r)
+	})
+	if err != nil {
+		var je *JobError
+		if errors.As(err, &je) && je.Index >= 0 && je.Index < len(missIdx) {
+			err = &JobError{Index: missIdx[je.Index], WorkloadID: je.WorkloadID, Panic: je.Panic, Err: je.Err}
+		}
+	}
+	return asm.completed(), err
+}

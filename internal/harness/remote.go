@@ -364,6 +364,28 @@ func (s *remoteSweep) failLocked(i int, workloadID string, err error) {
 	s.cancel()
 }
 
+// failContained records a contained workload panic without cancelling
+// the sweep: the slot is marked failed in the assembler so later results
+// still emit, the remaining jobs keep running, and the typed
+// JobError{Panic: true} becomes the sweep's error only once everything
+// else has finished.
+func (s *remoteSweep) failContained(i int, workloadID string, err error) {
+	s.mu.Lock()
+	if s.done[i] {
+		s.mu.Unlock()
+		return
+	}
+	s.errs[i] = &JobError{Index: i, WorkloadID: workloadID, Panic: true, Err: err}
+	s.done[i] = true
+	s.remaining--
+	if s.remaining == 0 {
+		s.cancel()
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.asm.fail(i)
+}
+
 // complete lands job i's result. The last result cancels the sweep's
 // inner context: that is what releases redialers sleeping out a backoff
 // and sessions parked on heartbeat reads, so Execute's wait never rides
@@ -658,6 +680,10 @@ func (e *RemoteExecutor) runSession(ctx context.Context, s *remoteSweep, w int, 
 		}
 		i := resp.Index
 		if resp.Error != "" {
+			if resp.Panic {
+				s.failContained(i, s.jobs[i].Workload.ID(), errors.New(resp.Error))
+				continue
+			}
 			s.fail(i, s.jobs[i].Workload.ID(), errors.New(resp.Error))
 			continue
 		}

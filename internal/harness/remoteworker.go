@@ -53,6 +53,13 @@ type RemoteWorkerServer struct {
 	// whose hello carries a different token digest (or none) is refused
 	// at handshake with ErrTokenMismatch.
 	Token string
+	// DrainGrace is how long open connections may keep finishing
+	// in-flight jobs after Serve's context is cancelled: the listener
+	// closes immediately (no new executors admitted), but connection
+	// contexts survive up to this long so answers already being computed
+	// still flush instead of being torn mid-write. <= 0 means no grace —
+	// cancellation kills connections at once, the historical behavior.
+	DrainGrace time.Duration
 	// Stderr receives per-connection failure notes; nil discards them.
 	Stderr io.Writer
 }
@@ -78,19 +85,27 @@ func (s *RemoteWorkerServer) handshakeTimeout() time.Duration {
 	return DefaultHandshakeTimeout
 }
 
-// Serve accepts connections on ln until ctx is cancelled (which also
-// closes ln and every open connection) or the listener fails. Each
-// connection is served on its own goroutines; Serve returns only after
-// they have all wound down.
+// Serve accepts connections on ln until ctx is cancelled or the
+// listener fails. Cancellation closes ln immediately; open connections
+// then either die at once (DrainGrace <= 0) or drain — they keep
+// finishing in-flight jobs for up to DrainGrace before their contexts
+// cancel. Each connection is served on its own goroutines; Serve
+// returns only after they have all wound down.
 func (s *RemoteWorkerServer) Serve(ctx context.Context, ln net.Listener) error {
 	ctx, cancel := context.WithCancel(ctx)
+	// Connections run under the drained context so they outlive ctx by
+	// the grace period; the listener stays on ctx so no new executor is
+	// admitted once shutdown begins.
+	connCtx, stopDrain := WithDrain(ctx, s.DrainGrace)
 	stop := context.AfterFunc(ctx, func() { ln.Close() })
 	defer stop()
 
-	// Teardown order matters: cancelling first is what closes the open
-	// connections (via each serveConn's AfterFunc), so the wait can
-	// actually finish.
+	// Teardown order matters: cancelling first starts the drain clock
+	// (and, with no grace, closes the open connections via each
+	// serveConn's AfterFunc), so the wait can actually finish; stopDrain
+	// runs only after the wait, or it would kill the drain it grants.
 	var wg sync.WaitGroup
+	defer stopDrain()
 	defer wg.Wait()
 	defer cancel()
 	for {
@@ -104,7 +119,7 @@ func (s *RemoteWorkerServer) Serve(ctx context.Context, ln net.Listener) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := s.serveConn(ctx, conn); err != nil && ctx.Err() == nil && s.Stderr != nil {
+			if err := s.serveConn(connCtx, conn); err != nil && ctx.Err() == nil && s.Stderr != nil {
 				fmt.Fprintf(s.Stderr, "hpcc worker: connection %s: %v\n", conn.RemoteAddr(), err)
 			}
 		}()

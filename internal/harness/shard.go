@@ -34,6 +34,11 @@ type ShardExecutor struct {
 	Env []string
 	// Stderr receives the workers' stderr; nil discards it.
 	Stderr io.Writer
+	// Drain, when non-nil, requests a graceful stop when it closes:
+	// dispatch halts, in-flight wire jobs run to completion under ctx,
+	// and Execute returns the completed prefix with ErrDrained. A nil
+	// channel never drains.
+	Drain <-chan struct{}
 }
 
 // waitDelay bounds how long a worker may linger after its stdin closes
@@ -106,6 +111,11 @@ dispatch:
 		case feed <- i:
 		case <-ctx.Done():
 			dispatchErr = ctx.Err()
+			break dispatch
+		case <-e.Drain:
+			// A drain stops dispatch only: in-flight wire jobs finish
+			// under ctx and the completed prefix remains valid.
+			dispatchErr = ErrDrained
 			break dispatch
 		}
 	}
@@ -227,6 +237,13 @@ func (e *ShardExecutor) runShard(ctx context.Context, cancel func(), shard int, 
 			return nil
 		}
 		if wr.Error != "" {
+			if wr.Panic {
+				// The worker contained the panic; contain it here too —
+				// record the typed failure and keep the sweep going.
+				errs[i] = &JobError{Index: i, WorkloadID: id, Panic: true, Err: errors.New(wr.Error)}
+				asm.fail(i)
+				continue
+			}
 			errs[i] = &JobError{Index: i, WorkloadID: id, Err: errors.New(wr.Error)}
 			cancel()
 			continue

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -19,7 +20,13 @@ type Job struct {
 type JobError struct {
 	Index      int
 	WorkloadID string
-	Err        error
+	// Panic reports that the workload did not return an error but
+	// panicked. The panic is contained: the executor recovers it, the
+	// rest of the sweep proceeds, and Err carries the recovered value
+	// and stack (a *PanicError locally; a flattened message when the
+	// panic happened in a worker process and crossed the wire).
+	Panic bool
+	Err   error
 }
 
 // Error implements error.
@@ -29,6 +36,34 @@ func (e *JobError) Error() string {
 
 // Unwrap exposes the underlying error to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
+
+// PanicError is what a recovered Workload.Run panic becomes: the panic
+// value plus the goroutine stack at the recovery point. It reaches
+// callers wrapped in a JobError with Panic set.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+// Error implements error, carrying the stack so a contained panic stays
+// debuggable wherever the message lands (a terminal, a wire frame, a
+// journal hint).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("workload panicked: %s\n%s", e.Value, e.Stack)
+}
+
+// safeRun invokes w.Run with panic containment: a panicking workload
+// comes back as a *PanicError instead of unwinding the pool goroutine
+// (which would kill the whole process — or a whole fleet worker — over
+// one bad job).
+func safeRun(ctx context.Context, w Workload, p Params) (res Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: fmt.Sprint(v), Stack: string(debug.Stack())}
+		}
+	}()
+	return w.Run(ctx, p)
+}
 
 // DefaultWorkers is the sweep engine's default parallelism: one worker per
 // host core.
@@ -45,13 +80,15 @@ func DefaultWorkers() int { return runtime.NumCPU() }
 // no slot ever holds a zero-value placeholder for a job that failed or
 // never ran. Cancelling ctx stops dispatch and returns ctx.Err().
 func Sweep(ctx context.Context, jobs []Job, workers int) ([]Result, error) {
-	return sweepEmit(ctx, jobs, workers, nil)
+	return sweepEmit(ctx, jobs, workers, nil, nil)
 }
 
-// sweepEmit is Sweep with an optional streaming callback: emit, when
-// non-nil, receives each result in strictly ascending index order as the
-// completed prefix grows (the Executor.Execute contract).
-func sweepEmit(ctx context.Context, jobs []Job, workers int, emit func(int, Result)) ([]Result, error) {
+// sweepEmit is Sweep with an optional streaming callback and an optional
+// drain channel: emit, when non-nil, receives each result in strictly
+// ascending index order as the completed prefix grows (the
+// Executor.Execute contract); drain, when it closes, stops dispatch
+// without cancelling in-flight jobs (the graceful-shutdown contract).
+func sweepEmit(ctx context.Context, jobs []Job, workers int, drain <-chan struct{}, emit func(int, Result)) ([]Result, error) {
 	if workers < 1 {
 		workers = DefaultWorkers()
 	}
@@ -81,8 +118,17 @@ func sweepEmit(ctx context.Context, jobs []Job, workers int, emit func(int, Resu
 					cancel()
 					continue
 				}
-				res, err := job.Workload.Run(ctx, job.Params)
+				res, err := safeRun(ctx, job.Workload, job.Params)
 				if err != nil {
+					var pe *PanicError
+					if errors.As(err, &pe) {
+						// A panic is contained, not fatal: record the typed
+						// failure, mark the slot failed so later results
+						// still emit, and let the rest of the sweep proceed.
+						errs[i] = &JobError{Index: i, WorkloadID: job.Workload.ID(), Panic: true, Err: err}
+						asm.fail(i)
+						continue
+					}
 					errs[i] = &JobError{Index: i, WorkloadID: job.Workload.ID(), Err: err}
 					cancel()
 					continue
@@ -102,6 +148,11 @@ dispatch:
 		case feed <- i:
 		case <-ctx.Done():
 			dispatchErr = ctx.Err()
+			break dispatch
+		case <-drain:
+			// A drain stops dispatch only: jobs already feeding stay
+			// live under ctx, and the completed prefix remains valid.
+			dispatchErr = ErrDrained
 			break dispatch
 		}
 	}

@@ -54,6 +54,11 @@ type WireResult struct {
 	Index  int     `json:"index"`
 	Result *Result `json:"result,omitempty"`
 	Error  string  `json:"error,omitempty"`
+	// Panic marks Error as a contained workload panic (recovered in the
+	// worker, stack flattened into Error): the parent records a typed
+	// JobError{Panic: true} and lets the rest of the sweep proceed
+	// instead of cancelling it.
+	Panic bool `json:"panic,omitempty"`
 }
 
 // EncodeWire writes v as one JSON line. Both sides of the protocol use
@@ -159,8 +164,9 @@ func (fr *frameReader) next() ([]byte, error) {
 
 // runWireJob executes one wire job against reg and packages the outcome
 // as the WireResult to send back: a per-job failure (unknown ID,
-// workload error) travels as a result line carrying Error, never as a
-// worker death.
+// workload error, contained panic) travels as a result line carrying
+// Error, never as a worker death — one bad job must not kill a fleet
+// worker.
 func runWireJob(ctx context.Context, reg *Registry, job WireJob) WireResult {
 	out := WireResult{Index: job.Index}
 	wl, err := reg.Lookup(job.WorkloadID)
@@ -168,9 +174,11 @@ func runWireJob(ctx context.Context, reg *Registry, job WireJob) WireResult {
 		out.Error = err.Error()
 		return out
 	}
-	res, err := wl.Run(ctx, job.Params)
+	res, err := safeRun(ctx, wl, job.Params)
 	if err != nil {
 		out.Error = err.Error()
+		var pe *PanicError
+		out.Panic = errors.As(err, &pe)
 		return out
 	}
 	if res.WorkloadID == "" {

@@ -41,6 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -129,6 +130,19 @@ func (s Snapshot) Desc() string {
 // value is not usable.
 type Store struct {
 	dir string
+	// warn receives recovery notes (a torn final line from a crash
+	// mid-append being ignored or truncated); nil discards them.
+	warn io.Writer
+}
+
+// SetWarnWriter directs recovery warnings (torn-tail notices) to w. The
+// default, nil, discards them.
+func (s *Store) SetWarnWriter(w io.Writer) { s.warn = w }
+
+func (s *Store) warnf(format string, args ...any) {
+	if s.warn != nil {
+		fmt.Fprintf(s.warn, format, args...)
+	}
 }
 
 // Open returns a handle on the store in dir. The directory is created on
@@ -198,6 +212,13 @@ func (s *Store) Append(meta Meta, entries []Entry) (string, error) {
 	}
 	meta.Time = meta.Time.UTC()
 
+	// Heal a torn tail from a crashed earlier append before anything
+	// reads the file: nextSeq's tail scan and load both want a clean
+	// final line.
+	if err := s.repairTail(); err != nil {
+		return "", err
+	}
+
 	seq, err := s.nextSeq()
 	if err != nil {
 		return "", err
@@ -232,7 +253,83 @@ func (s *Store) Append(meta Meta, entries []Entry) (string, error) {
 	if _, err := f.Write(buf.Bytes()); err != nil {
 		return "", fmt.Errorf("store: write %s: %w", s.file(), err)
 	}
+	// fsync before reporting success: the store is the system of record,
+	// and a snapshot the caller was told about must survive a crash.
+	if err := f.Sync(); err != nil {
+		return "", fmt.Errorf("store: sync %s: %w", s.file(), err)
+	}
 	return runID, nil
+}
+
+// repairTail heals the store file after a crash mid-append left a final
+// line without its terminating newline. A fragment that parses as a
+// complete record just gets its newline back; anything else is a torn
+// write and is truncated away with a warning — the records before it
+// are intact, and failing here would wedge the store for good. A
+// missing file is healthy.
+func (s *Store) repairTail() error {
+	f, err := os.OpenFile(s.file(), os.O_RDWR, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open %s: %w", s.file(), err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: stat %s: %w", s.file(), err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return fmt.Errorf("store: read %s: %w", s.file(), err)
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+
+	// Unterminated final line: scan back to its start.
+	const chunk = 64 * 1024
+	var frag []byte
+	off := size
+	for off > 0 {
+		n := int64(chunk)
+		if n > off {
+			n = off
+		}
+		off -= n
+		head := make([]byte, n)
+		if _, err := f.ReadAt(head, off); err != nil {
+			return fmt.Errorf("store: read %s: %w", s.file(), err)
+		}
+		frag = append(head, frag...)
+		if i := bytes.LastIndexByte(frag, '\n'); i >= 0 {
+			off += int64(i + 1)
+			frag = frag[i+1:]
+			break
+		}
+	}
+
+	var rec Record
+	if json.Unmarshal(bytes.TrimSpace(frag), &rec) == nil {
+		// The record landed whole; only its newline is missing.
+		if _, err := f.WriteAt([]byte{'\n'}, size); err != nil {
+			return fmt.Errorf("store: repair %s: %w", s.file(), err)
+		}
+	} else {
+		s.warnf("store: dropping torn final line in %s (%d bytes, crash mid-append)\n", s.file(), len(frag))
+		if err := f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail of %s: %w", s.file(), err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: sync %s: %w", s.file(), err)
+	}
+	return nil
 }
 
 // ValidateTag rejects tags the ref grammar cannot reach: "latest" and
@@ -270,7 +367,12 @@ func newRecord(runID string, meta Meta, e Entry) (Record, error) {
 }
 
 // load reads every record in file order. A missing file is an empty
-// store, not an error.
+// store, not an error, and neither is a torn final line: a crash
+// mid-append can leave a partial record with no terminating newline,
+// which load skips with a warning (the next Append truncates it away)
+// instead of poisoning every read of the system of record. A *complete*
+// line that fails to parse is still a hard error — that is corruption,
+// not a crash artifact.
 func (s *Store) load() ([]Record, error) {
 	f, err := os.Open(s.file())
 	if errors.Is(err, fs.ErrNotExist) {
@@ -282,27 +384,40 @@ func (s *Store) load() ([]Record, error) {
 	defer f.Close()
 
 	var out []Record
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	br := bufio.NewReaderSize(f, 1<<20)
 	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+	for {
+		raw, err := br.ReadBytes('\n')
+		terminated := err == nil
+		if err != nil && !errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("store: read %s: %w", s.file(), err)
+		}
+		text := strings.TrimSpace(string(raw))
 		if text == "" {
+			if !terminated {
+				break
+			}
+			line++
 			continue
 		}
+		line++
 		var rec Record
-		if err := json.Unmarshal([]byte(text), &rec); err != nil {
-			return nil, fmt.Errorf("store: %s line %d: %w", s.file(), line, err)
+		if uerr := json.Unmarshal([]byte(text), &rec); uerr != nil {
+			if !terminated {
+				s.warnf("store: ignoring torn final line in %s (%d bytes, crash mid-append); the next append will repair it\n",
+					s.file(), len(text))
+				break
+			}
+			return nil, fmt.Errorf("store: %s line %d: %w", s.file(), line, uerr)
 		}
 		if rec.Schema > Schema {
 			return nil, fmt.Errorf("store: %s line %d: schema %d is newer than supported %d",
 				s.file(), line, rec.Schema, Schema)
 		}
 		out = append(out, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: read %s: %w", s.file(), err)
+		if !terminated {
+			break
+		}
 	}
 	return out, nil
 }

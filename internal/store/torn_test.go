@@ -1,0 +1,151 @@
+package store
+
+// Torn-tail tolerance: a crash mid-append leaves a partial final line
+// in runs.jsonl. The store must warn and keep reading the intact
+// snapshots, and the next Append must repair the file — never refuse
+// to load, never duplicate, never corrupt.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tornStore(t *testing.T) (*Store, string, *bytes.Buffer) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "store")
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warn bytes.Buffer
+	s.SetWarnWriter(&warn)
+	return s, filepath.Join(dir, fileName), &warn
+}
+
+func TestTornTailLoadWarnsAndKeepsIntactSnapshots(t *testing.T) {
+	s, path, warn := tornStore(t)
+	mustAppend(t, s, Meta{Commit: "aaaa1111", Time: at(0)},
+		Entry{Result: testResult("bench/x", 10)})
+	mustAppend(t, s, Meta{Commit: "bbbb2222", Time: at(1)},
+		Entry{Result: testResult("bench/x", 11)})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"schema":1,"run_id":"torn-cra`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	snaps, err := s.Snapshots()
+	if err != nil {
+		t.Fatalf("torn tail made the store unreadable: %v", err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots across the tear, want 2", len(snaps))
+	}
+	if !strings.Contains(warn.String(), "torn") {
+		t.Fatalf("tear never surfaced as a warning: %q", warn.String())
+	}
+}
+
+func TestTornTailNextAppendRepairsFile(t *testing.T) {
+	s, path, warn := tornStore(t)
+	mustAppend(t, s, Meta{Commit: "aaaa1111", Time: at(0)},
+		Entry{Result: testResult("bench/x", 10)})
+	if err := os.WriteFile(path, append(readAll(t, path), []byte(`{"schema":1,"run_`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mustAppend(t, s, Meta{Commit: "bbbb2222", Time: at(1)},
+		Entry{Result: testResult("bench/x", 11)})
+	if !strings.Contains(warn.String(), "torn") {
+		t.Fatalf("repair never surfaced as a warning: %q", warn.String())
+	}
+
+	// The repaired file reads back clean — no warning, both snapshots —
+	// even through a fresh handle.
+	s2, err := Open(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warn2 bytes.Buffer
+	s2.SetWarnWriter(&warn2)
+	snaps, err := s2.Snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("repaired store has %d snapshots, want 2", len(snaps))
+	}
+	if warn2.Len() != 0 {
+		t.Fatalf("repaired store still warns: %q", warn2.String())
+	}
+	for i, want := range []string{"aaaa1111", "bbbb2222"} {
+		if snaps[i].Commit != want {
+			t.Fatalf("snapshot %d commit = %q, want %q", i, snaps[i].Commit, want)
+		}
+	}
+}
+
+// TestUnterminatedParseableTailRepaired: the gentler corruption — the
+// final record is complete JSON but the trailing newline never landed.
+// The record must be kept (not dropped as torn) and Append must just
+// terminate it.
+func TestUnterminatedParseableTailRepaired(t *testing.T) {
+	s, path, warn := tornStore(t)
+	mustAppend(t, s, Meta{Commit: "aaaa1111", Time: at(0)},
+		Entry{Result: testResult("bench/x", 10)})
+	if err := os.WriteFile(path, bytes.TrimRight(readAll(t, path), "\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, err := s.Snapshots()
+	if err != nil || len(snaps) != 1 {
+		t.Fatalf("unterminated record dropped: %v, %d snapshots", err, len(snaps))
+	}
+	mustAppend(t, s, Meta{Commit: "bbbb2222", Time: at(1)},
+		Entry{Result: testResult("bench/x", 11)})
+	if strings.Contains(warn.String(), "torn") {
+		t.Fatalf("a merely-unterminated record was reported torn: %q", warn.String())
+	}
+	snaps, err = s.Snapshots()
+	if err != nil || len(snaps) != 2 {
+		t.Fatalf("after repair: %v, %d snapshots (want 2)", err, len(snaps))
+	}
+}
+
+// TestMidFileCorruptionStillFails: tolerance is for the tail only. A
+// mangled record with intact records after it means real corruption,
+// and silently skipping it would quietly amputate history.
+func TestMidFileCorruptionStillFails(t *testing.T) {
+	s, path, _ := tornStore(t)
+	mustAppend(t, s, Meta{Commit: "aaaa1111", Time: at(0)},
+		Entry{Result: testResult("bench/x", 10)})
+	mustAppend(t, s, Meta{Commit: "bbbb2222", Time: at(1)},
+		Entry{Result: testResult("bench/x", 11)})
+	data := readAll(t, path)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatal("test bug: want at least two lines")
+	}
+	lines[0] = []byte("{\"schema\":1,BROKEN\n")
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshots(); err == nil {
+		t.Fatal("mid-file corruption read back as a healthy store")
+	}
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
